@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks over the substrates: versioning lattice
+//! operations, snapshot compatibility, store reads, zipfian sampling, and
+//! group-communication ordering engines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use gdur_gc::{AbCastEngine, GcEvent, SkeenEngine};
+use gdur_sim::ProcessId;
+use gdur_store::{Key, MultiVersionStore, TxId, Value};
+use gdur_versioning::{Stamp, VersionVec};
+use gdur_workload::{Zipfian, DEFAULT_THETA};
+
+fn bench_versioning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("versioning");
+    let a = VersionVec::from_entries((0..16).collect());
+    let b = VersionVec::from_entries((0..16).rev().collect());
+    g.bench_function("merge_dim16", |bch| {
+        bch.iter(|| black_box(a.clone()).joined(black_box(&b)))
+    });
+    g.bench_function("leq_dim16", |bch| bch.iter(|| black_box(&a).leq(black_box(&b))));
+    let x = Stamp::Vec { origin: 0, vec: a.clone() };
+    let y = Stamp::Vec { origin: 7, vec: b.clone() };
+    g.bench_function("compatibility_test", |bch| {
+        bch.iter(|| black_box(&x).compatible(black_box(&y)))
+    });
+    g.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store");
+    let mut store = MultiVersionStore::new();
+    for k in 0..1000u64 {
+        store.seed(Key(k), Value::from_u64(k), Stamp::Ts(0));
+    }
+    for v in 1..6u64 {
+        for k in 0..1000u64 {
+            store.install(Key(k), Value::from_u64(v), Stamp::Ts(v), TxId::new(0, v));
+        }
+    }
+    g.bench_function("latest", |bch| bch.iter(|| store.latest(black_box(Key(500)))));
+    let snap = VersionVec::from_entries(vec![3]);
+    let mut vec_store = MultiVersionStore::new();
+    vec_store.seed(Key(1), Value::empty(), Stamp::Vec { origin: 0, vec: VersionVec::zero(1) });
+    for v in 1..6u64 {
+        vec_store.install(
+            Key(1),
+            Value::empty(),
+            Stamp::Vec { origin: 0, vec: VersionVec::from_entries(vec![v]) },
+            TxId::new(0, v),
+        );
+    }
+    g.bench_function("latest_visible", |bch| {
+        bch.iter(|| vec_store.latest_visible(black_box(Key(1)), black_box(&snap)))
+    });
+    g.finish();
+}
+
+fn bench_zipfian(c: &mut Criterion) {
+    let z = Zipfian::new(100_000, DEFAULT_THETA);
+    let mut rng = SmallRng::seed_from_u64(5);
+    c.bench_function("zipfian_sample_scrambled", |bch| {
+        bch.iter(|| z.sample_scrambled(black_box(&mut rng)))
+    });
+}
+
+fn drain<P>(out: &mut Vec<GcEvent<P>>) {
+    out.clear();
+}
+
+fn bench_gc_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group_communication");
+    g.bench_function("abcast_order_and_ack", |bch| {
+        let group: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+        let mut seq: AbCastEngine<u64> = AbCastEngine::new(ProcessId(0), group);
+        let mut out = Vec::new();
+        let mut n = 0u64;
+        bch.iter(|| {
+            seq.broadcast(n, &mut out);
+            n += 1;
+            drain(&mut out);
+        })
+    });
+    g.bench_function("skeen_multicast_round", |bch| {
+        let mut sender: SkeenEngine<u64> = SkeenEngine::new(ProcessId(0));
+        let mut dest: SkeenEngine<u64> = SkeenEngine::new(ProcessId(1));
+        let mut out = Vec::new();
+        let mut n = 0u64;
+        bch.iter(|| {
+            sender.multicast(vec![ProcessId(1)], n, &mut out);
+            n += 1;
+            // Route the full propose/proposal/final exchange.
+            let mut pending: Vec<(ProcessId, gdur_gc::GcMsg<u64>)> = Vec::new();
+            for e in out.drain(..) {
+                if let GcEvent::Send { to, msg } = e {
+                    pending.push((to, msg));
+                }
+            }
+            while let Some((to, msg)) = pending.pop() {
+                let engine = if to == ProcessId(0) { &mut sender } else { &mut dest };
+                let mut o2 = Vec::new();
+                engine.on_message(ProcessId(99), msg, &mut o2);
+                for e in o2 {
+                    if let GcEvent::Send { to, msg } = e {
+                        pending.push((to, msg));
+                    }
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_versioning, bench_store, bench_zipfian, bench_gc_engines);
+criterion_main!(benches);

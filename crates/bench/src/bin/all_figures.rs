@@ -1,0 +1,10 @@
+//! Regenerates every figure of the paper's evaluation in sequence.
+//! Usage: `cargo run --release -p gdur-bench --bin all_figures [--quick]`.
+
+fn main() {
+    let scale = gdur_bench::scale_from_args();
+    for fig in gdur_harness::all_figures() {
+        gdur_harness::run_and_report(&fig, &scale);
+    }
+    println!("{}", gdur_protocols::table2::render());
+}

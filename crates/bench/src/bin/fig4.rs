@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig4 (see `gdur_harness::figures::fig4`).
+//! Usage: `cargo run --release -p gdur-bench --bin fig4 [--quick]`.
+
+fn main() {
+    let scale = gdur_bench::scale_from_args();
+    let fig = gdur_harness::fig4();
+    gdur_harness::run_and_report(&fig, &scale);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig5 (see `gdur_harness::figures::fig5`).
+//! Usage: `cargo run --release -p gdur-bench --bin fig5 [--quick]`.
+
+fn main() {
+    let scale = gdur_bench::scale_from_args();
+    let fig = gdur_harness::fig5();
+    gdur_harness::run_and_report(&fig, &scale);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig6a (see `gdur_harness::figures::fig6a`).
+//! Usage: `cargo run --release -p gdur-bench --bin fig6a [--quick]`.
+
+fn main() {
+    let scale = gdur_bench::scale_from_args();
+    let fig = gdur_harness::fig6a();
+    gdur_harness::run_and_report(&fig, &scale);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig6b (see `gdur_harness::figures::fig6b`).
+//! Usage: `cargo run --release -p gdur-bench --bin fig6b [--quick]`.
+
+fn main() {
+    let scale = gdur_bench::scale_from_args();
+    let fig = gdur_harness::fig6b();
+    gdur_harness::run_and_report(&fig, &scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 2: source lines of code per protocol realization.
+//! Usage: `cargo run -p gdur-bench --bin table2_loc`.
+
+fn main() {
+    print!("{}", gdur_protocols::table2::render());
+}

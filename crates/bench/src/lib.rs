@@ -1,0 +1,49 @@
+//! # gdur-bench — table/figure regeneration and benchmarks
+//!
+//! One binary per table and figure of the paper's evaluation (§8):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table2_loc` | Table 2 — protocol realization size |
+//! | `table3_workloads` | Table 3 — workload definitions |
+//! | `fig3a` / `fig3b` | Figure 3 — protocol comparison (DP / DT) |
+//! | `fig4` | Figure 4 — GMU bottleneck ablation |
+//! | `fig5` | Figure 5 — locality-aware P-Store |
+//! | `fig6a` / `fig6b` | Figure 6 — 2PC vs AM-Cast dependability |
+//! | `all_figures` | everything above, sequentially |
+//!
+//! Each binary accepts `--quick` for a reduced-scale run and writes a CSV
+//! under `bench_results/`. The Criterion benches (`microbench`,
+//! `figures`) exercise the same code paths at a size suitable for
+//! `cargo bench`.
+
+use gdur_harness::Scale;
+
+/// Parses the common CLI of the figure binaries: `--quick` selects the
+/// reduced scale; `--seed N` overrides the RNG seed.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = if args.iter().any(|a| a == "--quick") {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
+    if let Some(i) = args.iter().position(|a| a == "--seed") {
+        if let Some(seed) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+            scale.seed = seed;
+        }
+    }
+    scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_paper() {
+        // Arguments of the test runner contain no --quick.
+        let s = scale_from_args();
+        assert_eq!(s.keys_per_partition, Scale::paper().keys_per_partition);
+    }
+}

@@ -1,0 +1,200 @@
+//! Closed-loop client actor: plays transaction plans against its
+//! coordinator replica and records per-transaction latency metrics.
+
+use gdur_sim::{Context, ProcessId, SimDuration, SimTime};
+use gdur_store::{TxId, Value};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::messages::{ClientOp, ClientReply, Msg};
+use crate::txn::{PlanOp, TxSource, TxnPlan};
+
+/// Metrics of one finished transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnRecord {
+    /// The transaction.
+    pub tx: TxId,
+    /// `begin` was sent at this instant.
+    pub started_at: SimTime,
+    /// `commit` was requested at this instant.
+    pub submitted_at: SimTime,
+    /// The outcome arrived at this instant.
+    pub decided_at: SimTime,
+    /// True if the transaction committed.
+    pub committed: bool,
+    /// True if the transaction wrote nothing.
+    pub read_only: bool,
+}
+
+impl TxnRecord {
+    /// Termination latency: commit request → outcome (the paper's Figure 3
+    /// metric for update transactions).
+    pub fn termination_latency(&self) -> SimDuration {
+        self.decided_at.saturating_since(self.submitted_at)
+    }
+
+    /// Full transaction latency: begin → outcome (Figure 4's metric).
+    pub fn total_latency(&self) -> SimDuration {
+        self.decided_at.saturating_since(self.started_at)
+    }
+}
+
+/// A closed-loop client bound to one coordinator replica.
+///
+/// The client emulates one of the paper's client threads: it runs
+/// transactions back-to-back (no think time), reading plans from a
+/// [`TxSource`]. Updated values are fixed-size payloads, cloned from one
+/// shared buffer so allocation cost stays out of the measurement.
+pub struct Client {
+    coordinator: ProcessId,
+    source: Box<dyn TxSource + Send>,
+    value_proto: Value,
+    rng: SmallRng,
+    /// Stop issuing new transactions after this many (None = run forever,
+    /// bounded by the simulation horizon).
+    max_txns: Option<u64>,
+    issued: u64,
+    next_seq: u64,
+    me: Option<ProcessId>,
+    current: Option<Running>,
+    records: Vec<TxnRecord>,
+}
+
+struct Running {
+    tx: TxId,
+    plan: TxnPlan,
+    next_op: usize,
+    started_at: SimTime,
+    submitted_at: SimTime,
+    read_only: bool,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("coordinator", &self.coordinator)
+            .field("issued", &self.issued)
+            .field("records", &self.records.len())
+            .finish()
+    }
+}
+
+impl Client {
+    /// Creates a client that sends its transactions to `coordinator`,
+    /// writing `value_size`-byte payloads, seeded with `seed`.
+    pub fn new(
+        coordinator: ProcessId,
+        source: Box<dyn TxSource + Send>,
+        value_size: usize,
+        seed: u64,
+    ) -> Self {
+        Client {
+            coordinator,
+            source,
+            value_proto: Value::of_size(value_size),
+            rng: SmallRng::seed_from_u64(seed),
+            max_txns: None,
+            issued: 0,
+            next_seq: 0,
+            me: None,
+            current: None,
+            records: Vec::new(),
+        }
+    }
+
+    /// Bounds the number of transactions this client issues.
+    pub fn with_max_txns(mut self, max: u64) -> Self {
+        self.max_txns = Some(max);
+        self
+    }
+
+    /// Finished-transaction records collected so far.
+    pub fn records(&self) -> &[TxnRecord] {
+        &self.records
+    }
+
+    /// Number of transactions issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    fn begin_next(&mut self, ctx: &mut Context<'_, Msg>) {
+        if let Some(max) = self.max_txns {
+            if self.issued >= max {
+                return;
+            }
+        }
+        self.issued += 1;
+        self.next_seq += 1;
+        let me = self.me.expect("client started");
+        let tx = TxId::new(me.0, self.next_seq);
+        let plan = self.source.next_plan(&mut self.rng);
+        let read_only = plan.read_only();
+        self.current = Some(Running {
+            tx,
+            plan,
+            next_op: 0,
+            started_at: ctx.now(),
+            submitted_at: ctx.now(),
+            read_only,
+        });
+        ctx.send(self.coordinator, Msg::Client { tx, op: ClientOp::Begin });
+    }
+
+    fn send_next_op(&mut self, ctx: &mut Context<'_, Msg>) {
+        let r = self.current.as_mut().expect("a transaction is running");
+        if r.next_op == r.plan.ops.len() {
+            r.submitted_at = ctx.now();
+            ctx.send(self.coordinator, Msg::Client { tx: r.tx, op: ClientOp::Commit });
+            return;
+        }
+        let op = r.plan.ops[r.next_op].clone();
+        r.next_op += 1;
+        let wire_op = match op {
+            PlanOp::Read(key) => ClientOp::Read { key },
+            PlanOp::Update(key) => ClientOp::Update {
+                key,
+                value: self.value_proto.clone(),
+            },
+        };
+        ctx.send(self.coordinator, Msg::Client { tx: r.tx, op: wire_op });
+    }
+}
+
+impl gdur_sim::Actor for Client {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.me = Some(ctx.self_id());
+        self.begin_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: ProcessId, msg: Msg) {
+        let Msg::Reply { tx, reply } = msg else {
+            return; // clients only understand replies
+        };
+        let Some(r) = self.current.as_ref() else {
+            return;
+        };
+        if r.tx != tx {
+            return; // stale reply from a past transaction
+        }
+        match reply {
+            ClientReply::Began | ClientReply::ReadDone { .. } | ClientReply::UpdateDone { .. } => {
+                self.send_next_op(ctx);
+            }
+            ClientReply::Outcome { committed } => {
+                let r = self.current.take().expect("checked above");
+                self.records.push(TxnRecord {
+                    tx: r.tx,
+                    started_at: r.started_at,
+                    submitted_at: r.submitted_at,
+                    decided_at: ctx.now(),
+                    committed,
+                    read_only: r.read_only,
+                });
+                self.begin_next(ctx);
+            }
+        }
+    }
+}

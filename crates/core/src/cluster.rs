@@ -1,0 +1,247 @@
+//! Deployment assembly: builds a simulated geo-replicated cluster —
+//! replicas, clients, topology, placement, seeded data — from a
+//! [`ProtocolSpec`] and a client-workload factory.
+//!
+//! This mirrors the paper's experimental setup (§8.1): one replica per
+//! site, client machines colocated per site driving closed-loop load, and a
+//! disaster-prone or disaster-tolerant placement.
+
+use gdur_net::{GeoLatency, SiteId, Topology};
+use gdur_sim::{Cores, ProcessId, SimDuration, SimTime, Simulation};
+use gdur_store::{Key, Placement, Value};
+
+use crate::client::{Client, TxnRecord};
+use crate::node::Node;
+use crate::replica::{Replica, ReplicaConfig, ReplicaStats};
+use crate::spec::{CostModel, ProtocolSpec};
+use crate::txn::TxSource;
+
+/// Configuration of a simulated deployment.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The realized protocol under test.
+    pub spec: ProtocolSpec,
+    /// Data placement (also fixes the number of sites and partitions).
+    pub placement: Placement,
+    /// Keys per partition (the paper uses 10⁵ objects per replica).
+    pub keys_per_partition: u64,
+    /// Seed/after-value payload size in bytes (the paper uses 1 KB).
+    pub value_size: usize,
+    /// Closed-loop client threads per site.
+    pub clients_per_site: usize,
+    /// Optional bound on transactions per client (for run-to-idle tests).
+    pub max_txns_per_client: Option<u64>,
+    /// CPU model of the replicas.
+    pub costs: CostModel,
+    /// Cores per replica machine (the paper uses 4-core machines).
+    pub cores_per_replica: u16,
+    /// Record history for consistency checking (costs memory).
+    pub record_history: bool,
+    /// Attach the durable write-ahead log to every replica.
+    pub persistence: bool,
+    /// RNG seed for the whole deployment.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A small, fast configuration for tests and examples: `sites` sites in
+    /// disaster-prone placement, 1000 keys per partition, 64-byte values.
+    pub fn small(spec: ProtocolSpec, sites: usize) -> Self {
+        ClusterConfig {
+            spec,
+            placement: Placement::disaster_prone(sites),
+            keys_per_partition: 1000,
+            value_size: 64,
+            clients_per_site: 1,
+            max_txns_per_client: Some(20),
+            costs: CostModel::default(),
+            cores_per_replica: 4,
+            record_history: true,
+            persistence: false,
+            seed: 42,
+        }
+    }
+}
+
+/// A built deployment ready to run.
+pub struct Cluster {
+    sim: Simulation<Node, GeoLatency>,
+    replica_pids: Vec<ProcessId>,
+    client_pids: Vec<ProcessId>,
+    placement: Placement,
+}
+
+impl Cluster {
+    /// Builds the deployment. `make_source` is invoked once per client with
+    /// `(global client index, site)` and returns that client's workload.
+    pub fn build(
+        cfg: ClusterConfig,
+        mut make_source: impl FnMut(usize, SiteId) -> Box<dyn TxSource + Send>,
+    ) -> Cluster {
+        let sites = cfg.placement.sites();
+        assert!(sites >= 1, "need at least one site");
+        let mut topo = Topology::grid5000(sites);
+        // Replicas first (pids 0..sites), then clients.
+        for s in 0..sites {
+            topo.place(SiteId(s as u16));
+        }
+        for s in 0..sites {
+            for _ in 0..cfg.clients_per_site {
+                topo.place(SiteId(s as u16));
+            }
+        }
+        let replica_pids: Vec<ProcessId> = (0..sites).map(|s| ProcessId(s as u32)).collect();
+
+        let geo = GeoLatency::new(topo.clone());
+        let mut sim = Simulation::new(geo, cfg.seed);
+
+        let partitions = cfg.placement.partitions();
+        let total_keys = cfg.keys_per_partition * partitions as u64;
+        let proto_value = Value::of_size(cfg.value_size);
+
+        for s in 0..sites {
+            let site = SiteId(s as u16);
+            // Nearest replica site per partition, from this site's view.
+            let read_target: Vec<SiteId> = (0..partitions)
+                .map(|p| {
+                    let part = gdur_store::PartitionId(p as u32);
+                    *cfg.placement
+                        .replicas(part)
+                        .iter()
+                        .min_by_key(|r| topo.base_latency(site, **r))
+                        .expect("partitions have replicas")
+                })
+                .collect();
+            let rcfg = ReplicaConfig {
+                site,
+                spec: cfg.spec.clone(),
+                placement: cfg.placement.clone(),
+                replica_pids: replica_pids.clone(),
+                read_target,
+                costs: cfg.costs,
+                read_timeout: SimDuration::from_millis(250),
+                persistence: cfg.persistence,
+                record_history: cfg.record_history,
+            };
+            let seed_keys: Vec<(Key, Value)> = (0..total_keys)
+                .map(Key)
+                .filter(|k| cfg.placement.is_local(site, *k))
+                .map(|k| (k, proto_value.clone()))
+                .collect();
+            let pid = sim.spawn(
+                Node::Replica(Replica::new(ProcessId(s as u32), rcfg, seed_keys)),
+                Cores::Fixed(cfg.cores_per_replica),
+            );
+            debug_assert_eq!(pid, replica_pids[s]);
+        }
+
+        let mut client_pids = Vec::new();
+        let mut client_idx = 0usize;
+        for s in 0..sites {
+            let site = SiteId(s as u16);
+            for _ in 0..cfg.clients_per_site {
+                let source = make_source(client_idx, site);
+                let mut client = Client::new(
+                    replica_pids[s],
+                    source,
+                    cfg.value_size,
+                    cfg.seed ^ (0x9e37_79b9 + client_idx as u64),
+                );
+                if let Some(max) = cfg.max_txns_per_client {
+                    client = client.with_max_txns(max);
+                }
+                client_pids.push(sim.spawn(Node::Client(client), Cores::Unlimited));
+                client_idx += 1;
+            }
+        }
+
+        Cluster {
+            sim,
+            replica_pids,
+            client_pids,
+            placement: cfg.placement,
+        }
+    }
+
+    /// Runs for `dur` of virtual time.
+    pub fn run_for(&mut self, dur: SimDuration) -> SimTime {
+        let until = self.sim.now() + dur;
+        self.sim.run_until(until)
+    }
+
+    /// Runs until no events remain (requires bounded clients).
+    pub fn run_until_idle(&mut self) -> SimTime {
+        self.sim.run_until_idle()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The underlying simulation (e.g. for crash injection).
+    pub fn sim_mut(&mut self) -> &mut Simulation<Node, GeoLatency> {
+        &mut self.sim
+    }
+
+    /// Read access to the underlying simulation.
+    pub fn sim(&self) -> &Simulation<Node, GeoLatency> {
+        &self.sim
+    }
+
+    /// Handle for injecting and healing inter-site network partitions.
+    pub fn partition_control(&self) -> gdur_net::PartitionControl {
+        self.sim.latency_model().partition_control()
+    }
+
+    /// Replica process ids, indexed by site.
+    pub fn replica_pids(&self) -> &[ProcessId] {
+        &self.replica_pids
+    }
+
+    /// Client process ids.
+    pub fn client_pids(&self) -> &[ProcessId] {
+        &self.client_pids
+    }
+
+    /// The placement in effect.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The replica at `site`.
+    pub fn replica(&self, site: SiteId) -> &Replica {
+        self.sim.actor(self.replica_pids[site.index()])
+            .as_replica()
+            .expect("replica pid")
+    }
+
+    /// All finished-transaction records across clients.
+    pub fn records(&self) -> Vec<TxnRecord> {
+        let mut out = Vec::new();
+        for pid in &self.client_pids {
+            if let Some(c) = self.sim.actor(*pid).as_client() {
+                out.extend_from_slice(c.records());
+            }
+        }
+        out
+    }
+
+    /// Summed replica statistics.
+    pub fn replica_stats(&self) -> ReplicaStats {
+        let mut total = ReplicaStats::default();
+        for pid in &self.replica_pids {
+            let s = self.sim.actor(*pid).as_replica().expect("replica").stats();
+            total.coordinated += s.coordinated;
+            total.committed += s.committed;
+            total.aborted += s.aborted;
+            total.votes_cast += s.votes_cast;
+            total.preemptive_aborts += s.preemptive_aborts;
+            total.certifications += s.certifications;
+            total.remote_reads_served += s.remote_reads_served;
+            total.applies += s.applies;
+            total.propagates_sent += s.propagates_sent;
+        }
+        total
+    }
+}

@@ -1,0 +1,40 @@
+//! # gdur-core — the G-DUR middleware
+//!
+//! A generic, tailorable implementation of Deferred Update Replication,
+//! reproducing the middleware of *"G-DUR: A Middleware for Assembling,
+//! Analyzing, and Improving Transactional Protocols"* (Middleware 2014).
+//!
+//! A transactional protocol is assembled by picking plug-in values for the
+//! realization points of the paper's generic algorithms:
+//!
+//! * **Execution protocol** (Algorithm 1) — [`ChooseRule`] selects versions
+//!   under a versioning [`Mechanism`](gdur_versioning::Mechanism); remote
+//!   reads carry the [`Snapshot`] context.
+//! * **Termination protocol** (Algorithm 2) — [`CertifyingObjRule`] decides
+//!   who synchronizes; [`CommitmentKind`] picks atomic commitment by group
+//!   communication (Algorithm 3), two-phase commit (Algorithm 4) or Paxos
+//!   Commit; [`CommuteRule`] and [`CertifyRule`] govern certification;
+//!   [`PostCommitRule`] hooks background work such as Walter's stamp
+//!   propagation.
+//!
+//! The protocol library mirroring the paper's Algorithms 5–10 lives in
+//! `gdur-protocols`; deployments are assembled by `gdur-harness`.
+
+mod client;
+mod cluster;
+mod messages;
+mod node;
+mod replica;
+mod spec;
+mod txn;
+
+pub use client::{Client, TxnRecord};
+pub use cluster::{Cluster, ClusterConfig};
+pub use messages::{ClientOp, ClientReply, Msg, TermPayload};
+pub use node::Node;
+pub use replica::{InstallEvent, Replica, ReplicaConfig, ReplicaStats, TxnOutcomeRecord};
+pub use spec::{
+    CertifyRule, CertifyingObjRule, ChooseRule, CommitmentKind, CommuteRule, CostModel,
+    PostCommitRule, ProtocolSpec, VoteRule,
+};
+pub use txn::{PlanOp, ReadEntry, ScriptSource, Snapshot, TxSource, TxnPlan, WriteEntry};

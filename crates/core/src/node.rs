@@ -1,0 +1,61 @@
+//! [`Node`]: the heterogeneous actor type of a simulated deployment
+//! (replicas and clients in one world).
+
+use gdur_sim::{Actor, Context, ProcessId};
+
+use crate::client::Client;
+use crate::messages::Msg;
+use crate::replica::Replica;
+
+/// One process of the deployment: either a G-DUR replica or a load-driving
+/// client.
+#[derive(Debug)]
+pub enum Node {
+    /// A middleware instance.
+    Replica(Replica),
+    /// A closed-loop client.
+    Client(Client),
+}
+
+impl Node {
+    /// The replica inside, if this node is one.
+    pub fn as_replica(&self) -> Option<&Replica> {
+        match self {
+            Node::Replica(r) => Some(r),
+            Node::Client(_) => None,
+        }
+    }
+
+    /// The client inside, if this node is one.
+    pub fn as_client(&self) -> Option<&Client> {
+        match self {
+            Node::Client(c) => Some(c),
+            Node::Replica(_) => None,
+        }
+    }
+}
+
+impl Actor for Node {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        match self {
+            Node::Replica(_) => {}
+            Node::Client(c) => c.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ProcessId, msg: Msg) {
+        match self {
+            Node::Replica(r) => r.handle(ctx, from, msg),
+            Node::Client(c) => c.on_message(ctx, from, msg),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
+        match self {
+            Node::Replica(r) => r.on_timer(ctx, tag),
+            Node::Client(_) => {}
+        }
+    }
+}

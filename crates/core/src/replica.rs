@@ -1,0 +1,1447 @@
+//! The G-DUR replica: one actor running the generic *execution* protocol
+//! (Algorithm 1), the generic *termination* protocol (Algorithm 2), and the
+//! pluggable atomic-commitment algorithms — group communication with
+//! distributed voting (Algorithm 3), two-phase commit (Algorithm 4), Paxos
+//! Commit (§5), and Serrano's vote-free local decision.
+//!
+//! All realization points are read from the [`ProtocolSpec`]; the replica
+//! contains no protocol-specific code paths beyond dispatching on those
+//! plug-in values, which is the paper's architectural claim.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use gdur_gc::{GcEvent, GroupComm, XcastKind};
+use gdur_net::SiteId;
+use gdur_sim::{Context, ProcessId, SimDuration, SimTime};
+use gdur_store::{Key, MultiVersionStore, Placement, TxId, Value};
+use gdur_versioning::{Mechanism, Stamp, VersionVec};
+
+use crate::messages::{ClientOp, ClientReply, Msg, TermPayload};
+use crate::spec::{
+    CertifyRule, CertifyingObjRule, CommitmentKind, CommuteRule, CostModel, ProtocolSpec, VoteRule,
+};
+use crate::txn::{ReadEntry, Snapshot, WriteEntry};
+
+/// Static configuration of one replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// This replica's site.
+    pub site: SiteId,
+    /// The realized protocol.
+    pub spec: ProtocolSpec,
+    /// Data placement.
+    pub placement: Placement,
+    /// Process id of the replica at each site (indexed by site id).
+    pub replica_pids: Vec<ProcessId>,
+    /// For each partition, the preferred (nearest) site to read from.
+    pub read_target: Vec<SiteId>,
+    /// CPU service-time model.
+    pub costs: CostModel,
+    /// Remote reads unanswered for this long are re-iterated to another
+    /// replica (Algorithm 1's failover, "not covered" in the paper's
+    /// pseudo-code but described in §4).
+    pub read_timeout: SimDuration,
+    /// Attach the durable write-ahead log (§5.3 crash-recovery model);
+    /// the paper's experiments, like our performance runs, leave it off.
+    pub persistence: bool,
+    /// Record install/outcome events for consistency checking.
+    pub record_history: bool,
+}
+
+/// An after-value installation, recorded for consistency checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstallEvent {
+    /// Key written.
+    pub key: Key,
+    /// Per-key sequence of the installed version.
+    pub seq: u64,
+    /// Writing transaction.
+    pub tx: TxId,
+    /// Virtual instant of installation.
+    pub at: SimTime,
+}
+
+/// A terminated transaction, recorded at its coordinator.
+#[derive(Debug, Clone)]
+pub struct TxnOutcomeRecord {
+    /// The transaction.
+    pub tx: TxId,
+    /// True if it committed.
+    pub committed: bool,
+    /// True if it wrote nothing.
+    pub read_only: bool,
+    /// Read set with observed versions.
+    pub rs: Vec<ReadEntry>,
+    /// Written keys with base versions.
+    pub ws: Vec<(Key, u64)>,
+    /// Instant the transaction was submitted for termination.
+    pub submitted_at: SimTime,
+    /// Instant the decision was taken at the coordinator.
+    pub decided_at: SimTime,
+}
+
+/// Aggregate counters exposed by a replica after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Transactions this replica coordinated to a decision.
+    pub coordinated: u64,
+    /// ... of which committed.
+    pub committed: u64,
+    /// ... of which aborted.
+    pub aborted: u64,
+    /// Votes this replica cast.
+    pub votes_cast: u64,
+    /// Negative votes cast preemptively (Algorithm 4, line 3).
+    pub preemptive_aborts: u64,
+    /// Certification checks run.
+    pub certifications: u64,
+    /// Remote read requests served.
+    pub remote_reads_served: u64,
+    /// After-value installations.
+    pub applies: u64,
+    /// Background propagation messages sent.
+    pub propagates_sent: u64,
+}
+
+/// Execution-phase state of a transaction at its coordinator.
+#[derive(Debug)]
+struct CoordTxn {
+    client: ProcessId,
+    snapshot: Snapshot,
+    rs: Vec<ReadEntry>,
+    ws: Vec<WriteEntry>,
+    /// Outstanding remote read: (key, update-value if this is an RMW,
+    /// attempt counter for failover re-iteration).
+    pending_read: Option<(Key, Option<Value>, usize)>,
+    /// Failover timer of the outstanding read: (tag, kernel timer id).
+    read_timer: Option<(u64, u64)>,
+    submitted_at: SimTime,
+    /// Paxos Commit acknowledgments received.
+    paxos_acks: usize,
+    /// The pending Paxos decision, if in the accept round.
+    paxos_decision: Option<bool>,
+    /// Keys of `vote_snd_obj` (empty when no synchronization is needed).
+    certifying: Vec<Key>,
+    /// The termination payload, kept for crash-recovery retransmission.
+    submitted_payload: Option<TermPayload>,
+    decided: Option<bool>,
+}
+
+/// Termination-phase state of a transaction at a participant.
+#[derive(Debug)]
+struct PartTxn {
+    payload: TermPayload,
+    voted: bool,
+    /// The vote this replica cast, for idempotent re-sends on retried
+    /// termination (crash-recovery retransmission).
+    my_vote: Option<bool>,
+    outcome: Option<bool>,
+    applied: bool,
+    /// Number of conflicting predecessors still in `Q` (GC mode vote
+    /// deferral — the convoy effect).
+    blocked_by: usize,
+}
+
+/// Votes observed for a transaction (participants and coordinators share
+/// this view; in GC mode every `vote_recv` replica decides from it).
+#[derive(Debug, Default)]
+struct VoteState {
+    yes_sites: BTreeSet<SiteId>,
+    any_no: bool,
+}
+
+/// The replica actor.
+#[derive(Debug)]
+pub struct Replica {
+    cfg: ReplicaConfig,
+    me: ProcessId,
+    store: MultiVersionStore,
+    /// Per-partition commit clocks; authoritative for local partitions,
+    /// advanced by `Propagate` messages for remote ones.
+    knowledge: VersionVec,
+    /// Serrano's replicated version table (per-key latest sequence for all
+    /// objects), maintained only under `VoteRule::LocalDecide`.
+    meta: HashMap<Key, u64>,
+    gc: GroupComm<TermPayload>,
+    coord: HashMap<TxId, CoordTxn>,
+    part: HashMap<TxId, PartTxn>,
+    votes: HashMap<TxId, VoteState>,
+    /// Delivery queue `Q` of Algorithm 2.
+    q: VecDeque<TxId>,
+    /// Conflict index over queued transactions: key → (tx, read, wrote).
+    /// Makes commute checks O(footprint) instead of O(|Q|).
+    key_index: HashMap<Key, Vec<(TxId, bool, bool)>>,
+    /// Reverse wait edges: when the keyed transaction leaves `Q`, each
+    /// waiter's `blocked_by` drops by one.
+    waiters: HashMap<TxId, Vec<TxId>>,
+    /// Decisions that raced ahead of the ordered delivery of their
+    /// transaction (a coordinator can abort on the first negative vote
+    /// before slower replicas deliver the payload).
+    early_decide: HashMap<TxId, bool>,
+    /// Participations already terminated here; late votes and duplicate
+    /// decisions for them are dropped.
+    done: std::collections::HashSet<TxId>,
+    /// Outstanding remote-read timers: timer tag → transaction.
+    read_timers: HashMap<u64, TxId>,
+    /// Termination-retry timers (2PC/Paxos crash-recovery retransmission).
+    term_timers: HashMap<u64, TxId>,
+    next_timer_tag: u64,
+    /// Sites suspected crashed (eventually-perfect failure detector
+    /// heuristic: suspect after a read timeout, trust again on any
+    /// message). Suspected sites are skipped when picking read targets.
+    suspected: std::collections::HashSet<SiteId>,
+    stats: ReplicaStats,
+    installs: Vec<InstallEvent>,
+    outcomes: Vec<TxnOutcomeRecord>,
+    /// Durable log, when the persistence layer is attached.
+    wal: Option<gdur_persist::Wal>,
+}
+
+impl Replica {
+    /// Creates a replica; `me` must match the process id it will be spawned
+    /// at, and `seed_keys` lists the keys of locally hosted partitions with
+    /// their initial values.
+    pub fn new(me: ProcessId, cfg: ReplicaConfig, seed_keys: Vec<(Key, Value)>) -> Self {
+        let partitions = cfg.placement.partitions();
+        let dim = cfg.spec.versioning.dim(cfg.replica_pids.len(), partitions);
+        let mut store = MultiVersionStore::new();
+        for (k, v) in seed_keys {
+            let stamp = match cfg.spec.versioning {
+                Mechanism::Ts => Stamp::Ts(0),
+                _ => Stamp::Vec {
+                    origin: cfg.placement.partition_of(k).0,
+                    vec: VersionVec::zero(dim),
+                },
+            };
+            store.seed(k, v, stamp);
+        }
+        let gc = GroupComm::new(me, cfg.replica_pids.clone());
+        Replica {
+            knowledge: VersionVec::zero(dim.max(partitions)),
+            meta: HashMap::new(),
+            gc,
+            coord: HashMap::new(),
+            part: HashMap::new(),
+            votes: HashMap::new(),
+            q: VecDeque::new(),
+            key_index: HashMap::new(),
+            waiters: HashMap::new(),
+            early_decide: HashMap::new(),
+            done: std::collections::HashSet::new(),
+            read_timers: HashMap::new(),
+            term_timers: HashMap::new(),
+            next_timer_tag: 0,
+            suspected: std::collections::HashSet::new(),
+            stats: ReplicaStats::default(),
+            installs: Vec::new(),
+            outcomes: Vec::new(),
+            wal: cfg.persistence.then(gdur_persist::Wal::new),
+            store,
+            me,
+            cfg,
+        }
+    }
+
+    /// The durable log, if persistence is attached.
+    pub fn wal(&self) -> Option<&gdur_persist::Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> ReplicaStats {
+        self.stats
+    }
+
+    /// Install events recorded (empty unless `record_history`).
+    pub fn installs(&self) -> &[InstallEvent] {
+        &self.installs
+    }
+
+    /// Coordinator-side outcome records (empty unless `record_history`).
+    pub fn outcomes(&self) -> &[TxnOutcomeRecord] {
+        &self.outcomes
+    }
+
+    /// Direct read access to the local store (used by tests and examples).
+    pub fn store(&self) -> &MultiVersionStore {
+        &self.store
+    }
+
+    /// Current length of the termination queue `Q`.
+    pub fn queue_len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Debug view of coordinator state: (tx, certifying, yes-sites, any_no, decided).
+    pub fn coord_debug(&self) -> Vec<String> {
+        self.coord
+            .iter()
+            .map(|(tx, t)| {
+                let v = self.votes.get(tx);
+                format!(
+                    "{tx}: certifying={:?} yes={:?} no={:?} decided={:?} pending_read={:?} rs={:?} ws={:?}",
+                    t.certifying,
+                    v.map(|v| v.yes_sites.iter().map(|s| s.0).collect::<Vec<_>>()),
+                    v.map(|v| v.any_no),
+                    t.decided,
+                    t.pending_read.as_ref().map(|(k, _, _)| *k),
+                    t.rs.iter().map(|e| e.key).collect::<Vec<_>>(),
+                    t.ws.iter().map(|e| e.key).collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    /// Debug view of the termination queue: (tx, voted, outcome) per entry.
+    pub fn queue_debug(&self) -> Vec<(TxId, bool, Option<bool>)> {
+        self.q
+            .iter()
+            .map(|tx| {
+                let p = self.part.get(tx);
+                (
+                    *tx,
+                    p.map(|p| p.voted).unwrap_or(false),
+                    p.and_then(|p| p.outcome),
+                )
+            })
+            .collect()
+    }
+
+    fn pid_of_site(&self, s: SiteId) -> ProcessId {
+        self.cfg.replica_pids[s.index()]
+    }
+
+    fn sites_of_keys<'a, I: IntoIterator<Item = &'a Key>>(&self, keys: I) -> BTreeSet<SiteId> {
+        self.cfg
+            .placement
+            .replicas_of_keys(keys.into_iter().copied())
+    }
+
+    fn is_local(&self, key: Key) -> bool {
+        self.cfg.placement.is_local(self.cfg.site, key)
+    }
+
+    // ------------------------------------------------------------------
+    // Execution protocol (Algorithm 1)
+    // ------------------------------------------------------------------
+
+    fn fresh_snapshot(&self) -> Snapshot {
+        use crate::spec::ChooseRule;
+        let dim = self
+            .cfg
+            .spec
+            .versioning
+            .dim(self.cfg.replica_pids.len(), self.cfg.placement.partitions());
+        if dim == 0 {
+            return Snapshot::unconstrained();
+        }
+        match (self.cfg.spec.choose, self.cfg.spec.versioning.fixed_snapshot()) {
+            // choose_last still ships mechanism-sized metadata (GMU*), but
+            // the snapshot never constrains reads because it is never
+            // pinned or observed.
+            (ChooseRule::Last, _) => Snapshot::greedy(dim),
+            (ChooseRule::Consistent, true) => Snapshot::fixed(&self.knowledge),
+            (ChooseRule::Consistent, false) => Snapshot::greedy(dim),
+        }
+    }
+
+    /// `choose` (Algorithm 1, lines 22–30): selects a version of `key` from
+    /// the local store under `snap`, updating the snapshot context.
+    fn choose_version(&mut self, key: Key, snap: &mut Snapshot) -> (Value, u64, Stamp) {
+        use crate::spec::ChooseRule;
+        let p = self.cfg.placement.partition_of(key).index();
+        let rec = match self.cfg.spec.choose {
+            ChooseRule::Last => self
+                .store
+                .latest(key)
+                .unwrap_or_else(|| panic!("read of unhosted key {key} at {}", self.me)),
+            ChooseRule::Consistent => {
+                snap.pin(p, self.knowledge.get(p));
+                self.store
+                    .versions(key)
+                    .unwrap_or_else(|| panic!("read of unhosted key {key} at {}", self.me))
+                    .iter()
+                    .rev()
+                    .find(|r| snap.admits(&r.stamp))
+                    .expect("the seed version is admissible in every snapshot")
+            }
+        };
+        let out = (rec.value.clone(), rec.seq, rec.stamp.clone());
+        if self.cfg.spec.choose == ChooseRule::Consistent {
+            snap.observe(&out.2);
+        }
+        out
+    }
+
+    fn on_client_op(&mut self, ctx: &mut Context<'_, Msg>, from: ProcessId, tx: TxId, op: ClientOp) {
+        let costs = self.cfg.costs;
+        ctx.consume(costs.per_message);
+        match op {
+            ClientOp::Begin => {
+                let snapshot = self.fresh_snapshot();
+                self.coord.insert(
+                    tx,
+                    CoordTxn {
+                        client: from,
+                        snapshot,
+                        rs: Vec::new(),
+                        ws: Vec::new(),
+                        pending_read: None,
+                        read_timer: None,
+                        submitted_at: SimTime::ZERO,
+                        paxos_acks: 0,
+                        paxos_decision: None,
+                        certifying: Vec::new(),
+                        submitted_payload: None,
+                        decided: None,
+                    },
+                );
+                ctx.send(from, Msg::Reply { tx, reply: ClientReply::Began });
+            }
+            ClientOp::Read { key } => self.start_read(ctx, tx, key, None),
+            ClientOp::Update { key, value } => self.start_read(ctx, tx, key, Some(value)),
+            ClientOp::Commit => self.submit(ctx, tx),
+        }
+    }
+
+    /// Starts a read (or the read half of a read-modify-write).
+    fn start_read(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, key: Key, update: Option<Value>) {
+        let Some(t) = self.coord.get(&tx) else {
+            return; // transaction already aborted/untracked
+        };
+        // Read-your-writes from the buffer (Algorithm 1, line 10).
+        if t.ws.iter().any(|w| w.key == key) {
+            let client = t.client;
+            let t = self.coord.get_mut(&tx).expect("present");
+            let entry = t.ws.iter_mut().find(|w| w.key == key).expect("just found");
+            let reply = match update {
+                Some(v) => {
+                    entry.value = v;
+                    ClientReply::UpdateDone { key }
+                }
+                None => ClientReply::ReadDone { key, value: entry.value.clone() },
+            };
+            ctx.send(client, Msg::Reply { tx, reply });
+            return;
+        }
+        if self.is_local(key) {
+            let mut snap = std::mem::replace(
+                &mut self.coord.get_mut(&tx).expect("present").snapshot,
+                Snapshot::unconstrained(),
+            );
+            ctx.consume(self.cfg.costs.per_read);
+            let (value, seq, _stamp) = self.choose_version(key, &mut snap);
+            let t = self.coord.get_mut(&tx).expect("present");
+            t.snapshot = snap;
+            t.rs.push(ReadEntry { key, seq });
+            let client = t.client;
+            let reply = match update {
+                Some(v) => {
+                    t.ws.push(WriteEntry { key, value: v, base_seq: seq });
+                    ClientReply::UpdateDone { key }
+                }
+                None => ClientReply::ReadDone { key, value },
+            };
+            ctx.send(client, Msg::Reply { tx, reply });
+        } else {
+            // Remote read (Algorithm 1, line 13): ask the nearest replica.
+            let t = self.coord.get_mut(&tx).expect("present");
+            t.pending_read = Some((key, update, 0));
+            self.send_remote_read(ctx, tx, key, 0);
+        }
+    }
+
+    /// Picks the read target for `key` at the given failover attempt:
+    /// attempt 0 prefers the nearest unsuspected replica; later attempts
+    /// rotate through the partition's unsuspected replicas, falling back to
+    /// the full list if everything is suspected.
+    fn read_target_site(&self, key: Key, attempt: usize) -> SiteId {
+        let p = self.cfg.placement.partition_of(key);
+        let replicas = self.cfg.placement.replicas(p);
+        let live: Vec<SiteId> = replicas
+            .iter()
+            .copied()
+            .filter(|s| !self.suspected.contains(s))
+            .collect();
+        let pool: &[SiteId] = if live.is_empty() { replicas } else { &live };
+        let nearest = self.cfg.read_target[p.index()];
+        if attempt == 0 && pool.contains(&nearest) {
+            nearest
+        } else {
+            pool[attempt % pool.len()]
+        }
+    }
+
+    /// Issues (or re-issues) a remote read for `key`, picking the replica
+    /// by attempt number with failure suspicion.
+    fn send_remote_read(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, key: Key, attempt: usize) {
+        let target_site = self.read_target_site(key, attempt);
+        let target = self.pid_of_site(target_site);
+        let Some(t) = self.coord.get(&tx) else { return };
+        let snap = t.snapshot.clone();
+        ctx.consume(
+            self.cfg
+                .costs
+                .per_stamp_entry
+                .saturating_mul(snap.meta_entries() as u64),
+        );
+        ctx.send(target, Msg::ReadReq { tx, key, snap });
+        let tag = self.next_timer_tag;
+        self.next_timer_tag += 1;
+        self.read_timers.insert(tag, tx);
+        let id = ctx.set_timer(self.cfg.read_timeout, tag);
+        if let Some(t) = self.coord.get_mut(&tx) {
+            t.read_timer = Some((tag, id));
+        }
+    }
+
+    /// Read-failover timer: if the read is still pending, suspect the
+    /// unresponsive replica and re-iterate the request to another one.
+    pub fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
+        if let Some(tx) = self.term_timers.remove(&tag) {
+            let undecided = self
+                .coord
+                .get(&tx)
+                .map(|t| t.decided.is_none())
+                .unwrap_or(false);
+            if undecided {
+                let payload = self
+                    .coord
+                    .get(&tx)
+                    .and_then(|t| t.submitted_payload.clone());
+                if let Some(payload) = payload {
+                    let certifying = self.coord.get(&tx).expect("present").certifying.clone();
+                    let dests: Vec<ProcessId> = self
+                        .sites_of_keys(certifying.iter())
+                        .into_iter()
+                        .map(|s| self.pid_of_site(s))
+                        .collect();
+                    let mut out = Vec::new();
+                    self.gc.multicast(dests, payload, &mut out);
+                    self.flush_gc(ctx, out);
+                    self.arm_term_retry(ctx, tx);
+                }
+            }
+            return;
+        }
+        let Some(tx) = self.read_timers.remove(&tag) else { return };
+        let Some(t) = self.coord.get_mut(&tx) else { return };
+        let Some((key, _, attempt)) = t.pending_read.as_mut() else { return };
+        let (key, prev_attempt) = (*key, *attempt);
+        *attempt += 1;
+        let attempt = prev_attempt + 1;
+        let timed_out = self.read_target_site(key, prev_attempt);
+        self.suspected.insert(timed_out);
+        self.send_remote_read(ctx, tx, key, attempt);
+        // New suspicion may unwedge orphaned queries at the queue head.
+        self.process_queue(ctx);
+    }
+
+    /// Site of a replica process, if `pid` is one.
+    fn try_site_of_pid(&self, pid: ProcessId) -> Option<SiteId> {
+        self.cfg
+            .replica_pids
+            .iter()
+            .position(|p| *p == pid)
+            .map(|i| SiteId(i as u16))
+    }
+
+    fn on_read_req(&mut self, ctx: &mut Context<'_, Msg>, from: ProcessId, tx: TxId, key: Key, mut snap: Snapshot) {
+        ctx.consume(self.cfg.costs.per_message + self.cfg.costs.per_read);
+        ctx.consume(
+            self.cfg
+                .costs
+                .per_stamp_entry
+                .saturating_mul(snap.meta_entries() as u64),
+        );
+        self.stats.remote_reads_served += 1;
+        let (value, seq, stamp) = self.choose_version(key, &mut snap);
+        ctx.send(
+            from,
+            Msg::ReadRep { tx, key, value, seq, stamp, snap },
+        );
+    }
+
+    fn on_read_rep(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        tx: TxId,
+        key: Key,
+        value: Value,
+        seq: u64,
+        snap: Snapshot,
+    ) {
+        ctx.consume(self.cfg.costs.per_message);
+        let Some(t) = self.coord.get_mut(&tx) else {
+            return;
+        };
+        let Some((pending_key, update, _attempt)) = t.pending_read.take() else {
+            return; // duplicate reply after a failover retry
+        };
+        if pending_key != key {
+            // Stale reply of an earlier op; restore state and ignore.
+            t.pending_read = Some((pending_key, update, _attempt));
+            return;
+        }
+        if let Some((tag, id)) = t.read_timer.take() {
+            ctx.cancel_timer(id);
+            self.read_timers.remove(&tag);
+        }
+        t.snapshot = snap;
+        t.rs.push(ReadEntry { key, seq });
+        let client = t.client;
+        let reply = match update {
+            Some(v) => {
+                t.ws.push(WriteEntry { key, value: v, base_seq: seq });
+                ClientReply::UpdateDone { key }
+            }
+            None => ClientReply::ReadDone { key, value },
+        };
+        ctx.send(client, Msg::Reply { tx, reply });
+    }
+
+    // ------------------------------------------------------------------
+    // Termination protocol (Algorithm 2)
+    // ------------------------------------------------------------------
+
+    /// `certifying_obj(T)` (Algorithm 2, line 11).
+    fn certifying_keys(&self, t: &CoordTxn) -> Vec<Key> {
+        use CertifyingObjRule::*;
+        let read_only = t.ws.is_empty();
+        let rs_keys = || t.rs.iter().map(|e| e.key);
+        let ws_keys = || t.ws.iter().map(|e| e.key);
+        let rw: fn(&CoordTxn) -> Vec<Key> = |t| {
+            let mut keys: Vec<Key> = t.rs.iter().map(|e| e.key).collect();
+            for w in &t.ws {
+                if !keys.contains(&w.key) {
+                    keys.push(w.key);
+                }
+            }
+            keys
+        };
+        match self.cfg.spec.certifying_obj {
+            Nothing => Vec::new(),
+            WriteSet => ws_keys().collect(),
+            ReadWriteSet => rw(t),
+            WriteSetIfUpdate => {
+                if read_only {
+                    Vec::new()
+                } else {
+                    ws_keys().collect()
+                }
+            }
+            ReadWriteSetIfUpdate => {
+                if read_only {
+                    Vec::new()
+                } else {
+                    rw(t)
+                }
+            }
+            AllObjects => {
+                if read_only {
+                    Vec::new()
+                } else {
+                    // Every replica participates; the key list still names
+                    // the accessed objects for certification.
+                    rw(t)
+                }
+            }
+            ReadWriteSetUnlessLocalQuery => {
+                let local_query = read_only && rs_keys().all(|k| self.is_local(k));
+                if local_query {
+                    Vec::new()
+                } else {
+                    rw(t)
+                }
+            }
+        }
+    }
+
+    /// `submit(T)` (Algorithm 2, line 7): moves the transaction from
+    /// `executing` to `submitted` and propagates it via `xcast`.
+    fn submit(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId) {
+        let Some(t) = self.coord.get_mut(&tx) else {
+            return;
+        };
+        t.submitted_at = ctx.now();
+        let certifying = {
+            let t = self.coord.get(&tx).expect("present");
+            self.certifying_keys(t)
+        };
+        if certifying.is_empty() {
+            // Commit without synchronization (wait-free queries).
+            self.finish_coord(ctx, tx, true);
+            return;
+        }
+        let t = self.coord.get_mut(&tx).expect("present");
+        t.certifying = certifying.clone();
+        let payload = TermPayload {
+            tx,
+            coord: self.me,
+            read_only: t.ws.is_empty(),
+            rs: std::sync::Arc::new(t.rs.clone()),
+            ws: std::sync::Arc::new(t.ws.clone()),
+            dep: t.snapshot.dependency_vec(),
+        };
+        ctx.consume(
+            self.cfg
+                .costs
+                .per_stamp_entry
+                .saturating_mul(payload.dep.dim() as u64),
+        );
+        let dest_sites: Vec<SiteId> =
+            if matches!(self.cfg.spec.certifying_obj, CertifyingObjRule::AllObjects) {
+                self.cfg.placement.all_sites().collect()
+            } else {
+                self.sites_of_keys(certifying.iter()).into_iter().collect()
+            };
+        let dests: Vec<ProcessId> = dest_sites.iter().map(|s| self.pid_of_site(*s)).collect();
+        let xcast = match self.cfg.spec.commitment {
+            CommitmentKind::GroupCommunication { xcast } => xcast,
+            CommitmentKind::TwoPhaseCommit | CommitmentKind::PaxosCommit => XcastKind::Multicast,
+        };
+        if !matches!(self.cfg.spec.commitment, CommitmentKind::GroupCommunication { .. }) {
+            // Crash-recovery retransmission: retry termination until every
+            // vote arrives (Algorithm 4 in the crash-recovery model waits
+            // for crashed participants to come back online).
+            self.coord.get_mut(&tx).expect("present").submitted_payload = Some(payload.clone());
+            self.arm_term_retry(ctx, tx);
+        }
+        let mut out = Vec::new();
+        self.gc.xcast(xcast, dests, payload, &mut out);
+        self.flush_gc(ctx, out);
+    }
+
+    fn arm_term_retry(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId) {
+        let tag = self.next_timer_tag;
+        self.next_timer_tag += 1;
+        self.term_timers.insert(tag, tx);
+        ctx.set_timer(self.cfg.read_timeout.saturating_mul(4), tag);
+    }
+
+    fn flush_gc(&mut self, ctx: &mut Context<'_, Msg>, events: Vec<GcEvent<TermPayload>>) {
+        for ev in events {
+            match ev {
+                GcEvent::Send { to, msg } => {
+                    // Send-side marshaling: half the fixed per-message cost
+                    // plus size-proportional serialization. Fan-outs (the
+                    // AB-Cast sequencer, Skeen proposals) pay per copy.
+                    let kb = gdur_sim::WireSize::wire_size(&msg) as u64;
+                    ctx.consume(SimDuration::from_nanos(
+                        self.cfg.costs.per_message.as_nanos() / 2
+                            + self.cfg.costs.per_recv_kb.as_nanos() * kb / 2048,
+                    ));
+                    ctx.send(to, Msg::Gc(msg));
+                }
+                GcEvent::Deliver { payload, .. } => self.xdeliver(ctx, payload),
+            }
+        }
+    }
+
+    /// `xdeliver(T)` (Algorithm 2, line 16): enqueue into `Q` and run the
+    /// commitment algorithm's vote step.
+    fn xdeliver(&mut self, ctx: &mut Context<'_, Msg>, payload: TermPayload) {
+        let tx = payload.tx;
+        // Duplicate delivery (a coordinator retried termination): re-send
+        // our vote if we already cast one; otherwise ignore.
+        if self.done.contains(&tx) {
+            return;
+        }
+        if let Some(p) = self.part.get(&tx) {
+            if let Some(yes) = p.my_vote {
+                if payload.coord != self.me {
+                    ctx.send(payload.coord, Msg::Vote { tx, yes });
+                }
+            }
+            return;
+        }
+        let gc_mode = matches!(
+            self.cfg.spec.commitment,
+            CommitmentKind::GroupCommunication { .. }
+        );
+        let local_decide = gc_mode && self.cfg.spec.votes == VoteRule::LocalDecide;
+        // Conflicting predecessors, before self-registration.
+        let blockers = if local_decide {
+            Vec::new()
+        } else {
+            self.conflicting_queued(&payload)
+        };
+        self.part.insert(
+            tx,
+            PartTxn {
+                payload: payload.clone(),
+                voted: false,
+                my_vote: None,
+                outcome: None,
+                applied: false,
+                blocked_by: if gc_mode { blockers.len() } else { 0 },
+            },
+        );
+        if gc_mode {
+            self.q.push_back(tx);
+        }
+        if !local_decide {
+            self.index_insert(&payload);
+        }
+        if let Some(commit) = self.early_decide.remove(&tx) {
+            // The coordinator decided before our ordered delivery arrived.
+            self.on_decide(ctx, tx, commit);
+            return;
+        }
+        match self.cfg.spec.commitment {
+            CommitmentKind::GroupCommunication { .. } => {
+                if local_decide {
+                    self.local_decide(ctx, tx);
+                } else {
+                    if blockers.is_empty() {
+                        self.cast_gc_vote(ctx, tx);
+                    } else {
+                        // Convoy: defer the vote until every conflicting
+                        // predecessor leaves Q (Algorithm 3, line 3).
+                        for b in blockers {
+                            self.waiters.entry(b).or_default().push(tx);
+                        }
+                    }
+                    // Votes may have raced ahead of the ordered delivery.
+                    self.check_part_outcome(ctx, tx);
+                }
+            }
+            CommitmentKind::TwoPhaseCommit | CommitmentKind::PaxosCommit => {
+                self.vote_2pc(ctx, tx, !blockers.is_empty())
+            }
+        }
+    }
+
+    /// Per-key access flags of a payload: (key, read, wrote).
+    fn accesses(payload: &TermPayload) -> Vec<(Key, bool, bool)> {
+        let mut out: Vec<(Key, bool, bool)> = Vec::with_capacity(payload.rs.len() + payload.ws.len());
+        for r in payload.rs.iter() {
+            out.push((r.key, true, false));
+        }
+        for w in payload.ws.iter() {
+            if let Some(e) = out.iter_mut().find(|(k, _, _)| *k == w.key) {
+                e.2 = true;
+            } else {
+                out.push((w.key, false, true));
+            }
+        }
+        out
+    }
+
+    fn conflicts(&self, mine: (bool, bool), other: (bool, bool)) -> bool {
+        match self.cfg.spec.commute {
+            CommuteRule::Always => false,
+            CommuteRule::WriteWriteDisjoint => mine.1 && other.1,
+            CommuteRule::ReadWriteDisjoint => (mine.0 && other.1) || (mine.1 && other.0),
+        }
+    }
+
+    /// Queued transactions conflicting with `payload` (each at most once,
+    /// in delivery order).
+    fn conflicting_queued(&self, payload: &TermPayload) -> Vec<TxId> {
+        let mut seen: Vec<TxId> = Vec::new();
+        for (key, read, wrote) in Self::accesses(payload) {
+            if let Some(bucket) = self.key_index.get(&key) {
+                for (other, oread, owrote) in bucket {
+                    if *other != payload.tx
+                        && self.conflicts((read, wrote), (*oread, *owrote))
+                        && !seen.contains(other)
+                    {
+                        seen.push(*other);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    fn index_insert(&mut self, payload: &TermPayload) {
+        for (key, read, wrote) in Self::accesses(payload) {
+            self.key_index
+                .entry(key)
+                .or_default()
+                .push((payload.tx, read, wrote));
+        }
+    }
+
+    /// Removes a terminated transaction from the conflict index and wakes
+    /// its waiters; newly unblocked transactions cast their deferred votes.
+    fn index_remove(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, payload: &TermPayload) {
+        for (key, _, _) in Self::accesses(payload) {
+            if let Some(bucket) = self.key_index.get_mut(&key) {
+                bucket.retain(|(t, _, _)| *t != tx);
+                if bucket.is_empty() {
+                    self.key_index.remove(&key);
+                }
+            }
+        }
+        let Some(ws) = self.waiters.remove(&tx) else { return };
+        for w in ws {
+            let Some(p) = self.part.get_mut(&w) else { continue };
+            p.blocked_by = p.blocked_by.saturating_sub(1);
+            if p.blocked_by == 0 && !p.voted && p.outcome.is_none() {
+                self.cast_gc_vote(ctx, w);
+            }
+        }
+    }
+
+    /// `certify(T)` against this replica's local state.
+    fn certify(&mut self, payload: &TermPayload) -> bool {
+        self.stats.certifications += 1;
+        match self.cfg.spec.certify {
+            CertifyRule::AlwaysPass => true,
+            CertifyRule::ReadSetCurrent => payload.rs.iter().all(|e| {
+                !self.is_local(e.key)
+                    || self.store.latest_seq(e.key).unwrap_or(0) <= e.seq
+            }),
+            CertifyRule::WriteSetCurrent => {
+                if self.cfg.spec.votes == VoteRule::LocalDecide {
+                    // Serrano: certify against the replicated version table
+                    // covering all objects.
+                    payload
+                        .ws
+                        .iter()
+                        .all(|w| *self.meta.get(&w.key).unwrap_or(&0) <= w.base_seq)
+                } else {
+                    payload.ws.iter().all(|w| {
+                        !self.is_local(w.key)
+                            || self.store.latest_seq(w.key).unwrap_or(0) <= w.base_seq
+                    })
+                }
+            }
+        }
+    }
+
+    fn certify_cost(&self, payload: &TermPayload) -> SimDuration {
+        self.cfg.costs.per_certify
+            + self
+                .cfg
+                .costs
+                .per_certify_item
+                .saturating_mul((payload.rs.len() + payload.ws.len()) as u64)
+    }
+
+    /// Algorithm 3, action `vote`: certify and vote for one queued
+    /// transaction whose conflicting predecessors have all left `Q`.
+    fn cast_gc_vote(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId) {
+        let Some(p) = self.part.get(&tx) else { return };
+        if p.voted || p.outcome.is_some() {
+            return;
+        }
+        let payload = p.payload.clone();
+        ctx.consume(self.certify_cost(&payload));
+        let yes = self.certify(&payload);
+        {
+            let p = self.part.get_mut(&tx).expect("present");
+            p.voted = true;
+            p.my_vote = Some(yes);
+        }
+        self.stats.votes_cast += 1;
+        self.send_vote(ctx, &payload, yes);
+    }
+
+    /// Algorithm 4, action `vote`: certify immediately, but vote *no* if a
+    /// queued transaction conflicts (preemptive abort).
+    fn vote_2pc(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, conflict: bool) {
+        let payload = self.part.get(&tx).expect("just delivered").payload.clone();
+        let yes = if conflict {
+            self.stats.preemptive_aborts += 1;
+            false
+        } else {
+            ctx.consume(self.certify_cost(&payload));
+            self.certify(&payload)
+        };
+        {
+            let p = self.part.get_mut(&tx).expect("present");
+            p.voted = true;
+            p.my_vote = Some(yes);
+        }
+        self.stats.votes_cast += 1;
+        // 2PC votes go to the coordinator only.
+        if payload.coord == self.me {
+            self.record_vote(ctx, tx, self.cfg.site, yes);
+        } else {
+            ctx.send(payload.coord, Msg::Vote { tx, yes });
+        }
+    }
+
+    /// Sends a GC-mode vote to `replicas(vote_recv_obj) ∪ {coord}`.
+    ///
+    /// `vote_recv_obj` here is the full certifying set (the paper's "might
+    /// be larger in certain cases", Figure 2-a): every participant receives
+    /// every vote and decides locally, which also lets participants
+    /// terminate transactions whose coordinator crashed.
+    fn send_vote(&mut self, ctx: &mut Context<'_, Msg>, payload: &TermPayload, yes: bool) {
+        let tx = payload.tx;
+        let broadcast_delivery = matches!(
+            self.cfg.spec.commitment,
+            CommitmentKind::GroupCommunication { xcast: XcastKind::AbCast }
+        );
+        let mut targets: BTreeSet<ProcessId> = if broadcast_delivery {
+            // AB-Cast delivers to every replica; all of them sit in Q and
+            // need the votes to terminate ("all replicas must receive the
+            // certification votes", §5.1).
+            self.cfg.replica_pids.iter().copied().collect()
+        } else {
+            let mut keys: Vec<Key> = payload.rs.iter().map(|e| e.key).collect();
+            for w in payload.ws.iter() {
+                if !keys.contains(&w.key) {
+                    keys.push(w.key);
+                }
+            }
+            self.sites_of_keys(keys.iter())
+                .into_iter()
+                .map(|s| self.pid_of_site(s))
+                .collect()
+        };
+        targets.insert(payload.coord);
+        for t in targets {
+            if t == self.me {
+                self.record_vote(ctx, tx, self.cfg.site, yes);
+            } else {
+                ctx.send(t, Msg::Vote { tx, yes });
+            }
+        }
+    }
+
+    /// Serrano's vote-free decision: certify at delivery, in total order,
+    /// against the replicated version table; every replica reaches the same
+    /// verdict.
+    fn local_decide(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId) {
+        let payload = self.part.get(&tx).expect("just delivered").payload.clone();
+        ctx.consume(self.certify_cost(&payload));
+        let commit = self.certify(&payload);
+        if commit {
+            for w in payload.ws.iter() {
+                let e = self.meta.entry(w.key).or_insert(0);
+                *e = (*e).max(w.base_seq + 1);
+            }
+        }
+        {
+            let p = self.part.get_mut(&tx).expect("present");
+            p.voted = true;
+            p.outcome = Some(commit);
+        }
+        self.process_queue(ctx);
+        if payload.coord == self.me {
+            self.finish_coord(ctx, tx, commit);
+        }
+    }
+
+    /// Accumulates a vote; both coordinator-side and participant-side
+    /// decisions key off this shared state.
+    fn record_vote(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, site: SiteId, yes: bool) {
+        if self.done.contains(&tx) && !self.coord.contains_key(&tx) {
+            return;
+        }
+        {
+            let v = self.votes.entry(tx).or_default();
+            if yes {
+                v.yes_sites.insert(site);
+            } else {
+                v.any_no = true;
+            }
+        }
+        self.check_coord_outcome(ctx, tx);
+        self.check_part_outcome(ctx, tx);
+    }
+
+    /// The `outcome(T)` predicate at the coordinator.
+    fn check_coord_outcome(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId) {
+        let Some(t) = self.coord.get(&tx) else { return };
+        if t.decided.is_some() || t.certifying.is_empty() {
+            return;
+        }
+        let Some(v) = self.votes.get(&tx) else { return };
+        let decision = if v.any_no {
+            Some(false)
+        } else {
+            let covered = match self.cfg.spec.commitment {
+                // GC voting quorum: one affirmative replica per object.
+                CommitmentKind::GroupCommunication { .. } => t
+                    .certifying
+                    .iter()
+                    .all(|k| {
+                        self.cfg
+                            .placement
+                            .replicas_of_key(*k)
+                            .iter()
+                            .any(|s| v.yes_sites.contains(s))
+                    }),
+                // 2PC/Paxos: every replica of every object must vote yes.
+                CommitmentKind::TwoPhaseCommit | CommitmentKind::PaxosCommit => t
+                    .certifying
+                    .iter()
+                    .all(|k| {
+                        self.cfg
+                            .placement
+                            .replicas_of_key(*k)
+                            .iter()
+                            .all(|s| v.yes_sites.contains(s))
+                    }),
+            };
+            covered.then_some(true)
+        };
+        let Some(commit) = decision else { return };
+        if self.cfg.spec.commitment == CommitmentKind::PaxosCommit {
+            self.start_paxos_round(ctx, tx, commit);
+        } else {
+            self.decide_and_announce(ctx, tx, commit);
+        }
+    }
+
+    /// Paxos Commit: replicate the decision on a majority of acceptors
+    /// before announcing it.
+    fn start_paxos_round(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, commit: bool) {
+        let t = self.coord.get_mut(&tx).expect("present");
+        if t.paxos_decision.is_some() {
+            return;
+        }
+        t.paxos_decision = Some(commit);
+        t.paxos_acks = 1; // the coordinator accepts its own decision
+        for s in self.cfg.placement.all_sites() {
+            let pid = self.pid_of_site(s);
+            if pid != self.me {
+                ctx.send(pid, Msg::PaxosAccept { tx, commit });
+            }
+        }
+        self.check_paxos_majority(ctx, tx);
+    }
+
+    fn check_paxos_majority(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId) {
+        let n = self.cfg.placement.sites();
+        let Some(t) = self.coord.get(&tx) else { return };
+        let Some(commit) = t.paxos_decision else { return };
+        if t.decided.is_none() && t.paxos_acks > n / 2 {
+            self.decide_and_announce(ctx, tx, commit);
+        }
+    }
+
+    /// Coordinator decision: notify the client, announce to participants
+    /// that do not learn the outcome from votes.
+    fn decide_and_announce(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, commit: bool) {
+        let t = self.coord.get(&tx).expect("deciding an unknown txn");
+        let certifying = t.certifying.clone();
+        let announce_sites: BTreeSet<SiteId> = match self.cfg.spec.commitment {
+            // Every GC participant receives every vote and decides locally
+            // (Figure 2-a); no explicit decision fan-out is needed.
+            CommitmentKind::GroupCommunication { .. } => BTreeSet::new(),
+            CommitmentKind::TwoPhaseCommit | CommitmentKind::PaxosCommit => {
+                self.sites_of_keys(certifying.iter())
+            }
+        };
+        for s in announce_sites {
+            let pid = self.pid_of_site(s);
+            if pid != self.me {
+                ctx.send(pid, Msg::Decide { tx, commit, payload: None });
+            }
+        }
+        // Apply the local participant's copy, if any.
+        self.on_decide(ctx, tx, commit);
+        self.finish_coord(ctx, tx, commit);
+    }
+
+    /// Final coordinator bookkeeping: reply to the client, record history.
+    fn finish_coord(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, commit: bool) {
+        let Some(t) = self.coord.get_mut(&tx) else { return };
+        if t.decided.is_some() {
+            return;
+        }
+        t.decided = Some(commit);
+        self.stats.coordinated += 1;
+        if commit {
+            self.stats.committed += 1;
+        } else {
+            self.stats.aborted += 1;
+        }
+        ctx.send(
+            t.client,
+            Msg::Reply { tx, reply: ClientReply::Outcome { committed: commit } },
+        );
+        if self.cfg.record_history {
+            let rec = TxnOutcomeRecord {
+                tx,
+                committed: commit,
+                read_only: t.ws.is_empty(),
+                rs: t.rs.clone(),
+                ws: t.ws.iter().map(|w| (w.key, w.base_seq)).collect(),
+                submitted_at: if t.submitted_at == SimTime::ZERO {
+                    ctx.now()
+                } else {
+                    t.submitted_at
+                },
+                decided_at: ctx.now(),
+            };
+            self.outcomes.push(rec);
+        }
+        self.coord.remove(&tx);
+        self.votes.remove(&tx);
+    }
+
+    /// Participant-side outcome from received votes (GC mode: every
+    /// `vote_recv` replica decides locally, Figure 2-a).
+    fn check_part_outcome(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId) {
+        if !matches!(self.cfg.spec.commitment, CommitmentKind::GroupCommunication { .. }) {
+            return;
+        }
+        if self.cfg.spec.votes == VoteRule::LocalDecide {
+            return;
+        }
+        let Some(p) = self.part.get(&tx) else { return };
+        if p.outcome.is_some() {
+            return;
+        }
+        let Some(v) = self.votes.get(&tx) else { return };
+        let outcome = if v.any_no {
+            Some(false)
+        } else {
+            let payload = &p.payload;
+            // vote_snd_obj = certifying_obj: reconstruct the certifying set
+            // from the payload under this protocol's rule.
+            let mut keys: Vec<Key> = payload.rs.iter().map(|e| e.key).collect();
+            for w in payload.ws.iter() {
+                if !keys.contains(&w.key) {
+                    keys.push(w.key);
+                }
+            }
+            let certifying: Vec<Key> = match self.cfg.spec.certifying_obj {
+                CertifyingObjRule::WriteSet | CertifyingObjRule::WriteSetIfUpdate => {
+                    payload.ws.iter().map(|w| w.key).collect()
+                }
+                _ => keys,
+            };
+            certifying
+                .iter()
+                .all(|k| {
+                    self.cfg
+                        .placement
+                        .replicas_of_key(*k)
+                        .iter()
+                        .any(|s| v.yes_sites.contains(s))
+                })
+                .then_some(true)
+        };
+        if let Some(commit) = outcome {
+            self.part.get_mut(&tx).expect("present").outcome = Some(commit);
+            self.process_queue(ctx);
+        }
+    }
+
+    /// Decision received (or taken locally).
+    fn on_decide(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, commit: bool) {
+        if let Some(wal) = self.wal.as_mut() {
+            ctx.consume(self.cfg.costs.per_log_append);
+            wal.append(&gdur_persist::LogRecord::Decision { tx, commit });
+        }
+        let Some(p) = self.part.get_mut(&tx) else {
+            if !self.done.contains(&tx) {
+                self.early_decide.insert(tx, commit);
+            }
+            return;
+        };
+        if p.outcome.is_none() {
+            p.outcome = Some(commit);
+        }
+        match self.cfg.spec.commitment {
+            CommitmentKind::GroupCommunication { .. } => {
+                // Apply in delivery order (Algorithm 3, line 10).
+                self.process_queue(ctx);
+            }
+            CommitmentKind::TwoPhaseCommit | CommitmentKind::PaxosCommit => {
+                // Spontaneous order: apply and terminate immediately.
+                let p = self.part.get_mut(&tx).expect("present");
+                let payload = p.payload.clone();
+                let applied = p.applied;
+                if commit && !applied {
+                    p.applied = true;
+                    self.apply(ctx, &payload);
+                }
+                self.index_remove(ctx, tx, &payload);
+                self.part.remove(&tx);
+                self.votes.remove(&tx);
+                self.done.insert(tx);
+            }
+        }
+    }
+
+    /// Pops every decided transaction at the head of `Q`, applying commits
+    /// and waking deferred votes whose convoy has cleared.
+    ///
+    /// Orphaned queries — undecided read-only transactions whose
+    /// coordinator's site is suspected crashed — are aborted locally: they
+    /// install nothing, so a divergent outcome is harmless and unwedges the
+    /// apply order. Orphaned *update* transactions at their write-set
+    /// replicas terminate through the votes those replicas receive; full
+    /// recovery of the remaining cases needs the §5.3 termination consensus,
+    /// which is out of scope.
+    fn process_queue(&mut self, ctx: &mut Context<'_, Msg>) {
+        while let Some(&head) = self.q.front() {
+            let Some(p) = self.part.get(&head) else {
+                self.q.pop_front();
+                continue;
+            };
+            if p.outcome.is_none() && p.payload.read_only {
+                if let Some(site) = self.try_site_of_pid(p.payload.coord) {
+                    if self.suspected.contains(&site) {
+                        self.part.get_mut(&head).expect("present").outcome = Some(false);
+                    }
+                }
+            }
+            let Some(commit) = self.part.get(&head).expect("present").outcome else {
+                break;
+            };
+            let p = self.part.get(&head).expect("present");
+            let payload = p.payload.clone();
+            if commit && !p.applied {
+                self.part.get_mut(&head).expect("present").applied = true;
+                self.apply(ctx, &payload);
+            }
+            self.q.pop_front();
+            if self.cfg.spec.votes == VoteRule::Distributed {
+                self.index_remove(ctx, head, &payload);
+            }
+            self.part.remove(&head);
+            self.votes.remove(&head);
+            self.done.insert(head);
+        }
+    }
+
+    /// Applies after-values of locally hosted partitions and runs the
+    /// `post_commit` hook.
+    fn apply(&mut self, ctx: &mut Context<'_, Msg>, payload: &TermPayload) {
+        use crate::spec::PostCommitRule;
+        let mut bumped: Vec<(usize, u64)> = Vec::new();
+        // First pass: advance partition clocks once per written partition.
+        for w in payload.ws.iter() {
+            let p = self.cfg.placement.partition_of(w.key).index();
+            if !self.is_local(w.key) || bumped.iter().any(|(q, _)| *q == p) {
+                continue;
+            }
+            let s = self.knowledge.bump(p);
+            bumped.push((p, s));
+        }
+        // Commit vector: dependencies + this transaction's own entries.
+        let mut commit_vec = payload.dep.clone();
+        if commit_vec.dim() == self.knowledge.dim() {
+            for (p, s) in &bumped {
+                if commit_vec.get(*p) < *s {
+                    commit_vec.set(*p, *s);
+                }
+            }
+        }
+        for w in payload.ws.iter() {
+            if !self.is_local(w.key) {
+                continue;
+            }
+            ctx.consume(self.cfg.costs.per_apply);
+            let p = self.cfg.placement.partition_of(w.key);
+            let stamp = match self.cfg.spec.versioning {
+                Mechanism::Ts => {
+                    Stamp::Ts(self.store.latest_seq(w.key).map(|s| s + 1).unwrap_or(0))
+                }
+                _ => Stamp::Vec { origin: p.0, vec: commit_vec.clone() },
+            };
+            let seq = self.store.install(w.key, w.value.clone(), stamp.clone(), payload.tx);
+            self.stats.applies += 1;
+            if let Some(wal) = self.wal.as_mut() {
+                ctx.consume(self.cfg.costs.per_log_append);
+                wal.append(&gdur_persist::LogRecord::Install {
+                    key: w.key,
+                    seq,
+                    stamp,
+                    writer: payload.tx,
+                    value: w.value.clone(),
+                });
+            }
+            if self.cfg.record_history {
+                self.installs.push(InstallEvent {
+                    key: w.key,
+                    seq,
+                    tx: payload.tx,
+                    at: ctx.now(),
+                });
+            }
+        }
+        if self.cfg.spec.post_commit == PostCommitRule::PropagateStamps {
+            for (p, s) in bumped {
+                let part = gdur_store::PartitionId(p as u32);
+                if self.cfg.placement.replicas(part)[0] == self.cfg.site {
+                    for site in self.cfg.placement.all_sites() {
+                        let pid = self.pid_of_site(site);
+                        if pid != self.me {
+                            ctx.send(pid, Msg::Propagate { partition: p as u32, seq: s });
+                            self.stats.propagates_sent += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles every message kind; the entry point wired into the actor.
+    pub fn handle(&mut self, ctx: &mut Context<'_, Msg>, from: ProcessId, msg: Msg) {
+        // Any message from a suspected site restores trust in it.
+        if !self.suspected.is_empty() {
+            if let Some(site) = self.try_site_of_pid(from) {
+                self.suspected.remove(&site);
+            }
+        }
+        // Size-dependent deserialization cost: after-values and vector
+        // metadata both consume CPU proportional to their wire size.
+        let kb = gdur_sim::WireSize::wire_size(&msg) as u64;
+        ctx.consume(SimDuration::from_nanos(
+            self.cfg.costs.per_recv_kb.as_nanos() * kb / 1024,
+        ));
+        match msg {
+            Msg::Client { tx, op } => self.on_client_op(ctx, from, tx, op),
+            Msg::Reply { .. } => unreachable!("replicas do not receive client replies"),
+            Msg::ReadReq { tx, key, snap } => self.on_read_req(ctx, from, tx, key, snap),
+            Msg::ReadRep { tx, key, value, seq, stamp: _, snap } => {
+                self.on_read_rep(ctx, tx, key, value, seq, snap)
+            }
+            Msg::Gc(m) => {
+                ctx.consume(self.cfg.costs.per_message);
+                let mut out = Vec::new();
+                self.gc.on_message(from, m, &mut out);
+                self.flush_gc(ctx, out);
+            }
+            Msg::Vote { tx, yes } => {
+                ctx.consume(self.cfg.costs.per_message);
+                let site = self.site_of_pid(from);
+                self.record_vote(ctx, tx, site, yes);
+            }
+            Msg::Decide { tx, commit, .. } => {
+                ctx.consume(self.cfg.costs.per_message);
+                self.on_decide(ctx, tx, commit);
+            }
+            Msg::PaxosAccept { tx, commit } => {
+                ctx.consume(self.cfg.costs.per_message);
+                ctx.send(from, Msg::PaxosAccepted { tx, commit });
+            }
+            Msg::PaxosAccepted { tx, .. } => {
+                ctx.consume(self.cfg.costs.per_message);
+                if let Some(t) = self.coord.get_mut(&tx) {
+                    t.paxos_acks += 1;
+                }
+                self.check_paxos_majority(ctx, tx);
+            }
+            Msg::Propagate { partition, seq } => {
+                ctx.consume(self.cfg.costs.per_message);
+                let p = partition as usize;
+                if self.knowledge.get(p) < seq {
+                    self.knowledge.set(p, seq);
+                }
+            }
+        }
+    }
+
+    fn site_of_pid(&self, pid: ProcessId) -> SiteId {
+        let idx = self
+            .cfg
+            .replica_pids
+            .iter()
+            .position(|p| *p == pid)
+            .expect("vote from a non-replica process");
+        SiteId(idx as u16)
+    }
+}

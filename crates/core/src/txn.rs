@@ -1,0 +1,313 @@
+//! Transaction-side runtime state: plans, snapshots, read/write sets.
+
+use gdur_store::{Key, Value};
+use gdur_versioning::{Stamp, VersionVec};
+use rand::rngs::SmallRng;
+
+/// One operation of a transaction plan.
+///
+/// An `Update` is a read-modify-write: the coordinator reads the object
+/// (recording the base version the write supersedes) and buffers the new
+/// value. This interpretation of the paper's "Update" operations makes
+/// write-write certification sound for every protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanOp {
+    /// Read a key.
+    Read(Key),
+    /// Read-modify-write a key.
+    Update(Key),
+}
+
+impl PlanOp {
+    /// The key this operation touches.
+    pub fn key(&self) -> Key {
+        match self {
+            PlanOp::Read(k) | PlanOp::Update(k) => *k,
+        }
+    }
+}
+
+/// A client-side transaction plan (the CRUD sequence of Figure 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnPlan {
+    /// Operations, executed in order.
+    pub ops: Vec<PlanOp>,
+}
+
+impl TxnPlan {
+    /// True if the plan contains no updates.
+    pub fn read_only(&self) -> bool {
+        self.ops.iter().all(|o| matches!(o, PlanOp::Read(_)))
+    }
+}
+
+/// Source of transaction plans driven by a closed-loop client.
+///
+/// Implemented by the YCSB-style generators in `gdur-workload`, and by
+/// hand-rolled scenario scripts in the examples.
+pub trait TxSource {
+    /// Produces the next transaction this client should run.
+    fn next_plan(&mut self, rng: &mut SmallRng) -> TxnPlan;
+}
+
+/// An entry of the read set: the version of `key` the transaction observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadEntry {
+    /// The key read.
+    pub key: Key,
+    /// Per-key sequence of the version read.
+    pub seq: u64,
+}
+
+/// An entry of the write buffer (after-value + the base version it
+/// supersedes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteEntry {
+    /// The key written.
+    pub key: Key,
+    /// The buffered after-value.
+    pub value: Value,
+    /// Per-key sequence of the version this write supersedes (from the
+    /// read-modify-write read).
+    pub base_seq: u64,
+}
+
+/// Sentinel for "not yet pinned" snapshot entries.
+const UNPINNED: u64 = u64::MAX;
+
+/// The transaction's snapshot context: the state `choose_cons` carries
+/// between reads (§4.2).
+///
+/// * **Fixed** (VTS — Walter, S-DUR): every partition entry is pinned at
+///   `begin` from the coordinator's knowledge vector; reads return the
+///   latest version visible at or below the pin.
+/// * **Greedy** (GMV/PDV — GMU, Jessy): entries start unpinned; the first
+///   read served by a partition pins it at that replica's current partition
+///   clock (fresh!), lower-bounded by the dependencies of versions read so
+///   far. Later reads must stay consistent with every pinned entry.
+///
+/// The whole context travels inside remote-read requests and replies, which
+/// is exactly the execution-phase metadata overhead the GMU* ablation of
+/// §8.3 keeps paying after turning consistent reads off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Upper bound per partition (`UNPINNED` = not yet constrained).
+    snap: Vec<u64>,
+    /// Lower bound per partition required by dependencies of prior reads.
+    need: VersionVec,
+    fixed: bool,
+}
+
+impl Snapshot {
+    /// A degenerate snapshot for `choose_last` protocols (dimension 0).
+    pub fn unconstrained() -> Self {
+        Snapshot {
+            snap: Vec::new(),
+            need: VersionVec::zero(0),
+            fixed: false,
+        }
+    }
+
+    /// A fixed snapshot pinned at `knowledge` (VTS begin).
+    pub fn fixed(knowledge: &VersionVec) -> Self {
+        Snapshot {
+            snap: knowledge.iter().collect(),
+            need: VersionVec::zero(knowledge.dim()),
+            fixed: true,
+        }
+    }
+
+    /// An initially unpinned greedy snapshot over `partitions` partitions.
+    pub fn greedy(partitions: usize) -> Self {
+        Snapshot {
+            snap: vec![UNPINNED; partitions],
+            need: VersionVec::zero(partitions),
+            fixed: false,
+        }
+    }
+
+    /// Number of partition entries.
+    pub fn dim(&self) -> usize {
+        self.snap.len()
+    }
+
+    /// True if this snapshot was pinned wholesale at begin.
+    pub fn is_fixed(&self) -> bool {
+        self.fixed
+    }
+
+    /// Pins partition `p` (greedy mode) at the serving replica's current
+    /// partition clock, lower-bounded by accumulated dependencies. No-op
+    /// for fixed snapshots or already-pinned entries.
+    pub fn pin(&mut self, p: usize, clock: u64) {
+        if self.snap.is_empty() || self.fixed {
+            return;
+        }
+        if self.snap[p] == UNPINNED {
+            self.snap[p] = clock.max(self.need.get(p));
+        }
+    }
+
+    /// True if a version stamped `stamp` may join this snapshot.
+    pub fn admits(&self, stamp: &Stamp) -> bool {
+        let Stamp::Vec { origin, vec } = stamp else {
+            return true; // TS stamps: choose_last semantics
+        };
+        if self.snap.is_empty() {
+            return true;
+        }
+        let origin = *origin as usize;
+        if self.snap[origin] != UNPINNED && vec.get(origin) > self.snap[origin] {
+            return false;
+        }
+        // Consistency with every pinned partition the version depends on.
+        for (q, bound) in self.snap.iter().enumerate() {
+            if *bound != UNPINNED && vec.get(q) > *bound {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Records that the transaction read a version stamped `stamp`,
+    /// accumulating its dependencies as lower bounds for future pins.
+    pub fn observe(&mut self, stamp: &Stamp) {
+        if let Stamp::Vec { vec, .. } = stamp {
+            if self.need.dim() == vec.dim() {
+                self.need.merge(vec);
+            }
+        }
+    }
+
+    /// The dependency vector accumulated so far — the base of the commit
+    /// stamp for the transaction's writes.
+    pub fn dependency_vec(&self) -> VersionVec {
+        self.need.clone()
+    }
+
+    /// Approximate wire size when shipped in remote-read messages.
+    pub fn wire_size(&self) -> usize {
+        16 * self.snap.len() + 2
+    }
+
+    /// Number of 8-byte metadata entries (for marshaling cost accounting).
+    pub fn meta_entries(&self) -> usize {
+        2 * self.snap.len()
+    }
+}
+
+/// Convenience source producing a fixed cyclic list of plans; useful in
+/// tests and examples.
+#[derive(Debug, Clone)]
+pub struct ScriptSource {
+    plans: Vec<TxnPlan>,
+    next: usize,
+}
+
+impl ScriptSource {
+    /// Cycles through `plans` forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans` is empty.
+    pub fn new(plans: Vec<TxnPlan>) -> Self {
+        assert!(!plans.is_empty(), "need at least one plan");
+        ScriptSource { plans, next: 0 }
+    }
+}
+
+impl TxSource for ScriptSource {
+    fn next_plan(&mut self, _rng: &mut SmallRng) -> TxnPlan {
+        let plan = self.plans[self.next % self.plans.len()].clone();
+        self.next += 1;
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vstamp(origin: u32, entries: &[u64]) -> Stamp {
+        Stamp::Vec {
+            origin,
+            vec: VersionVec::from_entries(entries.to_vec()),
+        }
+    }
+
+    #[test]
+    fn plan_read_only_detection() {
+        let ro = TxnPlan {
+            ops: vec![PlanOp::Read(Key(1)), PlanOp::Read(Key(2))],
+        };
+        assert!(ro.read_only());
+        let up = TxnPlan {
+            ops: vec![PlanOp::Read(Key(1)), PlanOp::Update(Key(2))],
+        };
+        assert!(!up.read_only());
+        assert_eq!(up.ops[1].key(), Key(2));
+    }
+
+    #[test]
+    fn fixed_snapshot_bounds_reads() {
+        let snap = Snapshot::fixed(&VersionVec::from_entries(vec![2, 5]));
+        assert!(snap.is_fixed());
+        assert!(snap.admits(&vstamp(0, &[2, 0])));
+        assert!(!snap.admits(&vstamp(0, &[3, 0])), "beyond the pin");
+        assert!(!snap.admits(&vstamp(1, &[3, 5])), "depends past partition 0's pin");
+    }
+
+    #[test]
+    fn greedy_pins_fresh_then_constrains() {
+        let mut snap = Snapshot::greedy(2);
+        assert!(snap.admits(&vstamp(0, &[7, 7])), "unpinned admits anything");
+        snap.pin(0, 4);
+        assert!(snap.admits(&vstamp(0, &[4, 9])));
+        assert!(!snap.admits(&vstamp(0, &[5, 0])));
+        // Dependencies raise future pins.
+        snap.observe(&vstamp(0, &[4, 6]));
+        snap.pin(1, 2); // replica clock 2 < needed 6
+        assert!(snap.admits(&vstamp(1, &[0, 6])));
+        assert!(!snap.admits(&vstamp(1, &[0, 7])));
+    }
+
+    #[test]
+    fn pin_is_idempotent_and_fixed_is_immutable() {
+        let mut g = Snapshot::greedy(1);
+        g.pin(0, 3);
+        g.pin(0, 9);
+        assert!(g.admits(&vstamp(0, &[3])));
+        assert!(!g.admits(&vstamp(0, &[4])), "second pin ignored");
+
+        let mut f = Snapshot::fixed(&VersionVec::from_entries(vec![1]));
+        f.pin(0, 9);
+        assert!(!f.admits(&vstamp(0, &[2])), "fixed pins never move");
+    }
+
+    #[test]
+    fn unconstrained_admits_everything() {
+        let s = Snapshot::unconstrained();
+        assert!(s.admits(&Stamp::Ts(9)));
+        assert_eq!(s.dim(), 0);
+        assert_eq!(s.meta_entries(), 0);
+    }
+
+    #[test]
+    fn dependency_vec_accumulates() {
+        let mut s = Snapshot::greedy(2);
+        s.observe(&vstamp(0, &[3, 1]));
+        s.observe(&vstamp(1, &[0, 4]));
+        assert_eq!(s.dependency_vec(), VersionVec::from_entries(vec![3, 4]));
+    }
+
+    #[test]
+    fn script_source_cycles() {
+        let mut src = ScriptSource::new(vec![TxnPlan {
+            ops: vec![PlanOp::Read(Key(1))],
+        }]);
+        let mut rng = <SmallRng as rand::SeedableRng>::seed_from_u64(0);
+        let a = src.next_plan(&mut rng);
+        let b = src.next_plan(&mut rng);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end smoke tests: tiny clusters running each atomic-commitment
+//! realization to completion, checking liveness, application of
+//! after-values, and determinism.
+
+use gdur_core::{
+    CertifyRule, CertifyingObjRule, ChooseRule, Cluster, ClusterConfig, CommitmentKind,
+    CommuteRule, PlanOp, PostCommitRule, ProtocolSpec, ScriptSource, TxnPlan, VoteRule,
+};
+use gdur_gc::XcastKind;
+use gdur_net::SiteId;
+use gdur_store::Key;
+use gdur_versioning::Mechanism;
+
+fn jessy_like() -> ProtocolSpec {
+    ProtocolSpec {
+        name: "jessy-like",
+        versioning: Mechanism::Pdv,
+        choose: ChooseRule::Consistent,
+        commitment: CommitmentKind::TwoPhaseCommit,
+        certifying_obj: CertifyingObjRule::WriteSetIfUpdate,
+        commute: CommuteRule::WriteWriteDisjoint,
+        certify: CertifyRule::WriteSetCurrent,
+        votes: VoteRule::Distributed,
+        post_commit: PostCommitRule::Nothing,
+    }
+}
+
+fn pstore_like() -> ProtocolSpec {
+    ProtocolSpec {
+        name: "pstore-like",
+        versioning: Mechanism::Ts,
+        choose: ChooseRule::Last,
+        commitment: CommitmentKind::GroupCommunication { xcast: XcastKind::AmCast },
+        certifying_obj: CertifyingObjRule::ReadWriteSet,
+        commute: CommuteRule::ReadWriteDisjoint,
+        certify: CertifyRule::ReadSetCurrent,
+        votes: VoteRule::Distributed,
+        post_commit: PostCommitRule::Nothing,
+    }
+}
+
+fn serrano_like() -> ProtocolSpec {
+    ProtocolSpec {
+        name: "serrano-like",
+        versioning: Mechanism::Ts,
+        choose: ChooseRule::Last,
+        commitment: CommitmentKind::GroupCommunication { xcast: XcastKind::AbCast },
+        certifying_obj: CertifyingObjRule::AllObjects,
+        commute: CommuteRule::WriteWriteDisjoint,
+        certify: CertifyRule::WriteSetCurrent,
+        votes: VoteRule::LocalDecide,
+        post_commit: PostCommitRule::Nothing,
+    }
+}
+
+fn walter_like() -> ProtocolSpec {
+    ProtocolSpec {
+        name: "walter-like",
+        versioning: Mechanism::Vts,
+        choose: ChooseRule::Consistent,
+        commitment: CommitmentKind::TwoPhaseCommit,
+        certifying_obj: CertifyingObjRule::WriteSetIfUpdate,
+        commute: CommuteRule::WriteWriteDisjoint,
+        certify: CertifyRule::WriteSetCurrent,
+        votes: VoteRule::Distributed,
+        post_commit: PostCommitRule::PropagateStamps,
+    }
+}
+
+fn paxos_like() -> ProtocolSpec {
+    ProtocolSpec {
+        name: "paxos-like",
+        commitment: CommitmentKind::PaxosCommit,
+        ..jessy_like()
+    }
+}
+
+/// Plans mixing cross-partition reads with updates. Each client updates
+/// its own key range (offset by 30·index) so that scripted closed-loop
+/// clients cannot lock-step into perpetual mutual aborts; keys 1 and 4 are
+/// shared read targets and client 0's update targets.
+fn plans(client: usize) -> Vec<TxnPlan> {
+    let o = 30 * client as u64;
+    vec![
+        TxnPlan { ops: vec![PlanOp::Read(Key(0)), PlanOp::Update(Key(1 + o))] },
+        TxnPlan { ops: vec![PlanOp::Read(Key(2)), PlanOp::Read(Key(5))] },
+        TxnPlan { ops: vec![PlanOp::Update(Key(4 + o)), PlanOp::Read(Key(3))] },
+    ]
+}
+
+fn run(spec: ProtocolSpec, sites: usize) -> Cluster {
+    let cfg = ClusterConfig::small(spec, sites);
+    let mut cluster = Cluster::build(cfg, |i, _| Box::new(ScriptSource::new(plans(i))));
+    cluster.run_until_idle();
+    cluster
+}
+
+fn assert_live_and_applied(cluster: &Cluster, sites: usize) {
+    // Every client finished all its transactions.
+    let records = cluster.records();
+    assert_eq!(records.len(), sites * 20, "some transactions never decided");
+    let committed = records.iter().filter(|r| r.committed).count();
+    assert!(committed > 0, "nothing committed");
+    // Updates that committed were applied at the replicas of their keys.
+    let stats = cluster.replica_stats();
+    assert!(stats.applies > 0, "no after-values applied");
+    assert_eq!(stats.coordinated as usize, records.len());
+    // Keys 1 and 4 are updated repeatedly: their version sequence must have
+    // advanced at their hosting replica.
+    for key in [Key(1), Key(4)] {
+        let site = cluster.placement().primary_of_key(key);
+        let rep = cluster.replica(site);
+        let seq = rep.store().latest_seq(key).expect("key seeded");
+        assert!(seq > 0, "{key} never advanced under {}", sites);
+    }
+}
+
+#[test]
+fn two_phase_commit_protocol_end_to_end() {
+    let cluster = run(jessy_like(), 3);
+    assert_live_and_applied(&cluster, 3);
+}
+
+#[test]
+fn group_communication_protocol_end_to_end() {
+    let cluster = run(pstore_like(), 3);
+    assert_live_and_applied(&cluster, 3);
+}
+
+#[test]
+fn local_decide_protocol_end_to_end() {
+    let cluster = run(serrano_like(), 3);
+    assert_live_and_applied(&cluster, 3);
+}
+
+#[test]
+fn walter_style_propagation_end_to_end() {
+    let cluster = run(walter_like(), 3);
+    assert_live_and_applied(&cluster, 3);
+    assert!(
+        cluster.replica_stats().propagates_sent > 0,
+        "Walter-style protocols must propagate stamps"
+    );
+}
+
+#[test]
+fn paxos_commit_end_to_end() {
+    let cluster = run(paxos_like(), 3);
+    assert_live_and_applied(&cluster, 3);
+}
+
+#[test]
+fn disaster_tolerant_placement_end_to_end() {
+    let mut cfg = ClusterConfig::small(jessy_like(), 3);
+    cfg.placement = gdur_store::Placement::disaster_tolerant(3);
+    let mut cluster = Cluster::build(cfg, |i, _| Box::new(ScriptSource::new(plans(i))));
+    cluster.run_until_idle();
+    assert_live_and_applied(&cluster, 3);
+    // DT: both replicas of key 1's partition hold the latest version.
+    let reps = cluster.placement().replicas_of_key(Key(1)).to_vec();
+    assert_eq!(reps.len(), 2);
+    let s0 = cluster.replica(reps[0]).store().latest_seq(Key(1));
+    let s1 = cluster.replica(reps[1]).store().latest_seq(Key(1));
+    assert_eq!(s0, s1, "DT replicas diverged on key 1");
+}
+
+#[test]
+fn wait_free_queries_have_zero_termination_latency() {
+    let cluster = run(jessy_like(), 2);
+    for r in cluster.records().iter().filter(|r| r.read_only) {
+        assert!(r.committed, "wait-free queries always commit");
+        assert!(
+            r.termination_latency().as_nanos() < 1_000_000,
+            "RO termination should be local (got {})",
+            r.termination_latency()
+        );
+    }
+}
+
+#[test]
+fn pstore_queries_pay_certification() {
+    let cluster = run(pstore_like(), 2);
+    let ro: Vec<_> = cluster.records().into_iter().filter(|r| r.read_only).collect();
+    assert!(!ro.is_empty());
+    // AM-Cast + votes across WAN: at least one round trip (> 10 ms).
+    assert!(
+        ro.iter().all(|r| r.termination_latency().as_nanos() > 10_000_000),
+        "P-Store queries must synchronize at termination"
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = run(jessy_like(), 2).records();
+    let b = run(jessy_like(), 2).records();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x, y, "same seed must give identical histories");
+    }
+}
+
+#[test]
+fn site_lookup_helpers() {
+    let cluster = run(jessy_like(), 2);
+    assert_eq!(cluster.replica_pids().len(), 2);
+    assert_eq!(cluster.client_pids().len(), 2);
+    let _ = cluster.replica(SiteId(0));
+}

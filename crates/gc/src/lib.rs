@@ -1,0 +1,25 @@
+//! # gdur-gc — group communication substrate (§5.1)
+//!
+//! The commitment protocols of G-DUR propagate submitted transactions with
+//! an `xcast` primitive whose choice is itself a plug-in: uniform atomic
+//! broadcast for Serrano, genuine atomic multicast for P-Store,
+//! pairwise-ordered multicast for S-DUR, and plain multicast for the
+//! 2PC-based protocols. This crate implements those primitives as pure
+//! state machines ([`AbCastEngine`], [`SkeenEngine`]) plus a per-replica
+//! facade ([`GroupComm`]) that the middleware embeds.
+//!
+//! Engines are sans-IO: feeding a wire message in yields a list of
+//! [`GcEvent`]s (sends and in-order deliveries) that the hosting actor
+//! forwards to the simulation kernel. That keeps the ordering logic
+//! independently testable — including under the adversarial reorderings the
+//! property tests in `tests/ordering.rs` generate.
+
+mod abcast;
+mod facade;
+mod msg;
+mod skeen;
+
+pub use abcast::AbCastEngine;
+pub use facade::{GroupComm, MulticastId, XcastKind};
+pub use msg::{GcEvent, GcMsg, MsgId, SkeenTs};
+pub use skeen::SkeenEngine;

@@ -1,0 +1,122 @@
+//! Wire messages and engine outputs shared by all group-communication
+//! engines.
+
+use gdur_sim::{ProcessId, WireSize};
+
+/// Identifies one multicast message: sending process + sender-local
+/// sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId {
+    /// Sender process.
+    pub sender: ProcessId,
+    /// Sender-local sequence number.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for MsgId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}.{}", self.sender.0, self.seq)
+    }
+}
+
+/// A Skeen logical timestamp: `(clock, proposer)` — the proposer id breaks
+/// clock ties, yielding a total order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SkeenTs {
+    /// Lamport-style logical clock value.
+    pub clock: u64,
+    /// Proposing (for proposals) or deciding process id (for finals).
+    pub proposer: ProcessId,
+}
+
+/// Group-communication wire messages, carried inside the application's
+/// message enum.
+#[derive(Debug, Clone)]
+pub enum GcMsg<P> {
+    /// AB-Cast: payload forwarded to the group sequencer.
+    AbSubmit {
+        /// The application payload to order.
+        payload: P,
+    },
+    /// AB-Cast: sequencer-ordered payload fanned out to the group.
+    AbOrdered {
+        /// Position in the group's total order.
+        seq: u64,
+        /// Originating process (the one that called `abcast`).
+        origin: ProcessId,
+        /// The application payload.
+        payload: P,
+    },
+    /// AB-Cast: uniformity acknowledgment — the sender has logged the
+    /// ordered message at this sequence.
+    AbAck {
+        /// Acknowledged sequence number.
+        seq: u64,
+    },
+    /// Skeen: step 1 — sender asks each destination for a timestamp
+    /// proposal (carries the payload so destinations can buffer it).
+    SkeenPropose {
+        /// Message being ordered.
+        mid: MsgId,
+        /// Full destination group (needed by destinations to report
+        /// delivery metadata upward).
+        dests: Vec<ProcessId>,
+        /// The application payload.
+        payload: P,
+    },
+    /// Skeen: step 2 — destination's timestamp proposal back to the sender.
+    SkeenProposal {
+        /// Message being ordered.
+        mid: MsgId,
+        /// Proposed timestamp.
+        ts: SkeenTs,
+    },
+    /// Skeen: step 3 — sender's final (max) timestamp to all destinations.
+    SkeenFinal {
+        /// Message being ordered.
+        mid: MsgId,
+        /// Decided timestamp.
+        ts: SkeenTs,
+    },
+    /// Reliable multicast payload (no ordering guarantees).
+    Reliable {
+        /// The application payload.
+        payload: P,
+    },
+}
+
+impl<P: WireSize> WireSize for GcMsg<P> {
+    fn wire_size(&self) -> usize {
+        const HDR: usize = 24;
+        match self {
+            GcMsg::AbSubmit { payload } | GcMsg::Reliable { payload } => {
+                HDR + payload.wire_size()
+            }
+            GcMsg::AbOrdered { payload, .. } => HDR + 12 + payload.wire_size(),
+            GcMsg::AbAck { .. } => HDR + 8,
+            GcMsg::SkeenPropose { dests, payload, .. } => {
+                HDR + 12 + 4 * dests.len() + payload.wire_size()
+            }
+            GcMsg::SkeenProposal { .. } | GcMsg::SkeenFinal { .. } => HDR + 24,
+        }
+    }
+}
+
+/// Output of feeding a message (or an application call) into a GC engine.
+#[derive(Debug)]
+pub enum GcEvent<P> {
+    /// Transmit `msg` to `to` over the network.
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// The wrapped GC wire message.
+        msg: GcMsg<P>,
+    },
+    /// Deliver `payload` to the application, in the engine's order.
+    Deliver {
+        /// Process that originally multicast the payload.
+        origin: ProcessId,
+        /// The application payload.
+        payload: P,
+    },
+}

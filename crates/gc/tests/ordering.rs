@@ -1,0 +1,218 @@
+//! End-to-end ordering properties of the group-communication engines, run
+//! through the real simulation kernel over a jittery geo-replicated
+//! network, with randomized senders and destination groups.
+
+use gdur_gc::{GcEvent, GcMsg, GroupComm, XcastKind};
+use gdur_net::{GeoLatency, SiteId, Topology};
+use gdur_sim::{Actor, Context, Cores, ProcessId, SimDuration, Simulation, WireSize};
+use proptest::prelude::*;
+
+/// Payload: a unique message number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Payload(u32);
+
+impl WireSize for Payload {
+    fn wire_size(&self) -> usize {
+        64
+    }
+}
+
+/// A node that wraps a `GroupComm` endpoint, issues a scripted set of
+/// xcasts at start, and logs deliveries.
+struct Node {
+    gc: Option<GroupComm<Payload>>,
+    script: Vec<(XcastKind, Vec<ProcessId>, Payload)>,
+    delivered: Vec<u32>,
+}
+
+#[derive(Debug, Clone)]
+enum Wire {
+    Gc(GcMsg<Payload>),
+}
+
+impl WireSize for Wire {
+    fn wire_size(&self) -> usize {
+        match self {
+            Wire::Gc(m) => m.wire_size(),
+        }
+    }
+}
+
+impl Node {
+    fn flush(&mut self, ctx: &mut Context<'_, Wire>, events: Vec<GcEvent<Payload>>) {
+        for ev in events {
+            match ev {
+                GcEvent::Send { to, msg } => ctx.send(to, Wire::Gc(msg)),
+                GcEvent::Deliver { payload, .. } => self.delivered.push(payload.0),
+            }
+        }
+    }
+}
+
+impl Actor for Node {
+    type Msg = Wire;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Wire>) {
+        let mut out = Vec::new();
+        let gc = self.gc.as_mut().expect("gc endpoint installed");
+        for (kind, dests, payload) in self.script.drain(..) {
+            gc.xcast(kind, dests, payload, &mut out);
+        }
+        self.flush(ctx, out);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Wire>, from: ProcessId, msg: Wire) {
+        ctx.consume(SimDuration::from_micros(5));
+        let Wire::Gc(m) = msg;
+        let mut out = Vec::new();
+        self.gc.as_mut().expect("gc endpoint installed").on_message(from, m, &mut out);
+        self.flush(ctx, out);
+    }
+}
+
+/// Builds `n` nodes on `n` distinct sites, each with a script of xcasts,
+/// runs to quiescence and returns per-node delivery logs.
+fn run_cluster(
+    n: usize,
+    scripts: Vec<Vec<(XcastKind, Vec<ProcessId>, Payload)>>,
+    seed: u64,
+) -> Vec<Vec<u32>> {
+    let mut topo = Topology::grid5000(n);
+    for s in 0..n {
+        topo.place(SiteId(s as u16));
+    }
+    let mut sim = Simulation::new(GeoLatency::new(topo), seed);
+    let group: Vec<ProcessId> = (0..n).map(|i| ProcessId(i as u32)).collect();
+    for (i, script) in scripts.into_iter().enumerate() {
+        let id = sim.spawn(
+            Node {
+                gc: None,
+                script,
+                delivered: Vec::new(),
+            },
+            Cores::Fixed(4),
+        );
+        sim.actor_mut(id).gc = Some(GroupComm::new(ProcessId(i as u32), group.clone()));
+    }
+    sim.run_until_idle();
+    (0..n)
+        .map(|i| sim.actor(ProcessId(i as u32)).delivered.clone())
+        .collect()
+}
+
+fn assert_same_relative_order(a: &[u32], b: &[u32]) {
+    let common: Vec<u32> = a.iter().copied().filter(|x| b.contains(x)).collect();
+    let b_common: Vec<u32> = b.iter().copied().filter(|x| a.contains(x)).collect();
+    assert_eq!(
+        common, b_common,
+        "two processes deliver their common messages in different orders: {a:?} vs {b:?}"
+    );
+}
+
+#[test]
+fn abcast_is_total_order() {
+    let n = 4;
+    let mut scripts = vec![Vec::new(); n];
+    let mut next = 0u32;
+    for (s, script) in scripts.iter_mut().enumerate() {
+        for _ in 0..5 {
+            script.push((XcastKind::AbCast, vec![], Payload(next + s as u32 * 100)));
+            next += 1;
+        }
+    }
+    let logs = run_cluster(n, scripts, 11);
+    for log in &logs {
+        assert_eq!(log.len(), 5 * n, "uniform delivery at every member");
+    }
+    for w in logs.windows(2) {
+        assert_eq!(w[0], w[1], "atomic broadcast must yield identical orders");
+    }
+}
+
+#[test]
+fn amcast_orders_overlapping_groups() {
+    // Senders 0 and 3 multicast to overlapping subsets; every pair of
+    // common destinations must agree on the relative order.
+    let p = |i: u32| ProcessId(i);
+    let scripts = vec![
+        vec![
+            (XcastKind::AmCast, vec![p(1), p(2)], Payload(1)),
+            (XcastKind::AmCast, vec![p(1), p(2), p(3)], Payload(2)),
+        ],
+        vec![],
+        vec![(XcastKind::AmCast, vec![p(1), p(2)], Payload(3))],
+        vec![(XcastKind::AmCast, vec![p(2), p(3)], Payload(4))],
+    ];
+    let logs = run_cluster(4, scripts, 17);
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            assert_same_relative_order(&logs[i], &logs[j]);
+        }
+    }
+}
+
+#[test]
+fn multicast_delivers_without_order() {
+    let p = |i: u32| ProcessId(i);
+    let scripts = vec![
+        vec![(XcastKind::Multicast, vec![p(0), p(1)], Payload(1))],
+        vec![(XcastKind::Multicast, vec![p(0), p(1)], Payload(2))],
+    ];
+    let logs = run_cluster(2, scripts, 3);
+    for log in &logs {
+        let mut sorted = log.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2], "all payloads reach all destinations");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random multicast patterns over random destination groups: every pair
+    /// of processes delivers its common messages in the same relative
+    /// order, and every destination delivers every message addressed to it.
+    #[test]
+    fn amcast_pairwise_order_holds_under_random_patterns(
+        seed in 0u64..1000,
+        pattern in prop::collection::vec(
+            (0usize..4, prop::collection::btree_set(0u32..4, 1..4)),
+            1..12,
+        ),
+    ) {
+        let n = 4;
+        let mut scripts = vec![Vec::new(); n];
+        let mut expected = vec![Vec::new(); n];
+        for (i, (sender, dests)) in pattern.iter().enumerate() {
+            let payload = Payload(i as u32);
+            let dests: Vec<ProcessId> = dests.iter().map(|d| ProcessId(*d)).collect();
+            for d in &dests {
+                expected[d.index()].push(i as u32);
+            }
+            scripts[*sender].push((XcastKind::AmCast, dests, payload));
+        }
+        let logs = run_cluster(n, scripts, seed);
+        for (i, log) in logs.iter().enumerate() {
+            let mut got = log.clone();
+            got.sort_unstable();
+            let mut want = expected[i].clone();
+            want.sort_unstable();
+            prop_assert_eq!(&got, &want, "process {} missed deliveries", i);
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let common: Vec<u32> = logs[i]
+                    .iter()
+                    .copied()
+                    .filter(|x| logs[j].contains(x))
+                    .collect();
+                let common_j: Vec<u32> = logs[j]
+                    .iter()
+                    .copied()
+                    .filter(|x| logs[i].contains(x))
+                    .collect();
+                prop_assert_eq!(common, common_j);
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The paper's evaluation, experiment by experiment: every figure of §8 is
+//! a [`Figure`] value whose panels enumerate the protocol curves to sweep.
+
+use gdur_protocols as protocols;
+
+use crate::experiment::{Experiment, PlacementKind, WorkloadKind};
+
+/// What a panel's y-axis reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Termination latency of update transactions vs throughput (Fig. 3, 6).
+    TermLatencyUpdate,
+    /// Average transaction latency vs throughput (Fig. 4).
+    AvgLatency,
+    /// Abort ratio vs concurrent transactions (Fig. 6 bottom).
+    AbortRatio,
+    /// Maximum throughput bar (Fig. 5).
+    MaxThroughput,
+}
+
+/// One subplot: several protocol curves under one workload/deployment.
+#[derive(Debug, Clone)]
+pub struct FigurePanel {
+    /// Panel caption.
+    pub title: String,
+    /// The curves.
+    pub series: Vec<Experiment>,
+    /// The reported metric.
+    pub metric: Metric,
+}
+
+/// One figure of the paper.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Identifier, e.g. `"fig3a"`.
+    pub id: &'static str,
+    /// Caption from the paper.
+    pub caption: &'static str,
+    /// The panels.
+    pub panels: Vec<FigurePanel>,
+}
+
+fn comparison_panel(
+    title: &str,
+    workload: WorkloadKind,
+    ro: f64,
+    sites: usize,
+    placement: PlacementKind,
+) -> FigurePanel {
+    FigurePanel {
+        title: title.to_string(),
+        series: protocols::comparison_set()
+            .into_iter()
+            .map(|spec| Experiment::new(spec, workload, ro, sites, placement))
+            .collect(),
+        metric: Metric::TermLatencyUpdate,
+    }
+}
+
+/// Figure 3-a: Workload A on 4 sites, disaster prone; 90% and 70%
+/// read-only transactions.
+pub fn fig3a() -> Figure {
+    Figure {
+        id: "fig3a",
+        caption: "Performance comparison, Workload A, 4 sites, DP",
+        panels: vec![
+            comparison_panel(
+                "Workload A on 4 sites with DP (90% read-only)",
+                WorkloadKind::A,
+                0.9,
+                4,
+                PlacementKind::Dp,
+            ),
+            comparison_panel(
+                "Workload A on 4 sites with DP (70% read-only)",
+                WorkloadKind::A,
+                0.7,
+                4,
+                PlacementKind::Dp,
+            ),
+        ],
+    }
+}
+
+/// Figure 3-b: Workload B on 4 sites, disaster tolerant; 90% and 70%
+/// read-only transactions.
+pub fn fig3b() -> Figure {
+    Figure {
+        id: "fig3b",
+        caption: "Performance comparison, Workload B, 4 sites, DT",
+        panels: vec![
+            comparison_panel(
+                "Workload B on 4 sites with DT (90% read-only)",
+                WorkloadKind::B,
+                0.9,
+                4,
+                PlacementKind::Dt,
+            ),
+            comparison_panel(
+                "Workload B on 4 sites with DT (70% read-only)",
+                WorkloadKind::B,
+                0.7,
+                4,
+                PlacementKind::Dt,
+            ),
+        ],
+    }
+}
+
+/// Figure 4: the GMU bottleneck study — GMU, GMU* (trivial snapshots),
+/// GMU** (trivial snapshots and certification), RC; Workload B, 4 sites,
+/// DP, 90% read-only; average transaction latency.
+pub fn fig4() -> Figure {
+    let series = [
+        protocols::gmu(),
+        protocols::gmu_star(),
+        protocols::gmu_star_star(),
+        protocols::read_committed(),
+    ]
+    .into_iter()
+    .map(|spec| Experiment::new(spec, WorkloadKind::B, 0.9, 4, PlacementKind::Dp))
+    .collect();
+    Figure {
+        id: "fig4",
+        caption: "Study of bottlenecks in GMU, Workload B, 4 sites, DP (90% read-only)",
+        panels: vec![FigurePanel {
+            title: "Workload B on 4 sites with DP (90% read-only)".into(),
+            series,
+            metric: Metric::AvgLatency,
+        }],
+    }
+}
+
+/// Figure 5: P-Store vs locality-aware P-Store-la at 10/50/90% local
+/// queries; Workload A, 4 sites, DP, 90% read-only; maximum throughput.
+pub fn fig5() -> Figure {
+    let mut series = Vec::new();
+    for ratio in [0.1, 0.5, 0.9] {
+        for spec in [protocols::p_store(), protocols::p_store_la()] {
+            let mut e = Experiment::new(spec, WorkloadKind::A, 0.9, 4, PlacementKind::Dp);
+            e.local_query_ratio = ratio;
+            e.label = format!("{} @{}% local", e.spec.name, (ratio * 100.0) as u32);
+            series.push(e);
+        }
+    }
+    Figure {
+        id: "fig5",
+        caption: "Throughput improvement of P-Store-la, Workload A, 4 sites, DP (90% read-only)",
+        panels: vec![FigurePanel {
+            title: "Maximum throughput at 10/50/90% local queries".into(),
+            series,
+            metric: Metric::MaxThroughput,
+        }],
+    }
+}
+
+fn dependability_panels(sites: usize, placement: PlacementKind) -> Vec<FigurePanel> {
+    let pair = || vec![protocols::p_store(), protocols::p_store_2pc()];
+    let mk = |workload: WorkloadKind, metric: Metric, title: String| FigurePanel {
+        title,
+        series: pair()
+            .into_iter()
+            .map(|spec| {
+                let mut e = Experiment::new(spec, workload, 0.9, sites, placement);
+                e.label = match e.spec.name {
+                    "P-Store" => "SER + AM-Cast".into(),
+                    _ => "SER + 2PC".into(),
+                };
+                e
+            })
+            .collect(),
+        metric,
+    };
+    let pl = match placement {
+        PlacementKind::Dp => "DP",
+        PlacementKind::Dt => "DT",
+    };
+    vec![
+        mk(
+            WorkloadKind::A,
+            Metric::TermLatencyUpdate,
+            format!("Workload A on {sites} sites with {pl} (90% read-only)"),
+        ),
+        mk(
+            WorkloadKind::C,
+            Metric::TermLatencyUpdate,
+            format!("Workload C on {sites} sites with {pl} (90% read-only)"),
+        ),
+        mk(
+            WorkloadKind::C,
+            Metric::AbortRatio,
+            format!("Abort ratio, Workload C on {sites} sites with {pl}"),
+        ),
+    ]
+}
+
+/// Figure 6-a: 2PC vs AM-Cast in the disaster-prone configuration
+/// (4 sites): latency/throughput for Workloads A and C plus the abort
+/// ratio under contention.
+pub fn fig6a() -> Figure {
+    Figure {
+        id: "fig6a",
+        caption: "2PC vs AM-Cast, disaster prone, 4 sites",
+        panels: dependability_panels(4, PlacementKind::Dp),
+    }
+}
+
+/// Figure 6-b: the same study in the disaster-tolerant configuration on 6
+/// sites, where 2PC needs every replica's vote.
+pub fn fig6b() -> Figure {
+    Figure {
+        id: "fig6b",
+        caption: "2PC vs AM-Cast, disaster tolerant, 6 sites",
+        panels: dependability_panels(6, PlacementKind::Dt),
+    }
+}
+
+/// Every figure of the evaluation, in paper order.
+pub fn all_figures() -> Vec<Figure> {
+    vec![fig3a(), fig3b(), fig4(), fig5(), fig6a(), fig6b()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_inventory_matches_paper() {
+        let figs = all_figures();
+        let ids: Vec<_> = figs.iter().map(|f| f.id).collect();
+        assert_eq!(ids, ["fig3a", "fig3b", "fig4", "fig5", "fig6a", "fig6b"]);
+    }
+
+    #[test]
+    fn fig3_panels_have_seven_curves() {
+        for fig in [fig3a(), fig3b()] {
+            assert_eq!(fig.panels.len(), 2);
+            for p in &fig.panels {
+                assert_eq!(p.series.len(), 7, "panel {} curve count", p.title);
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_is_the_gmu_ablation() {
+        let f = fig4();
+        let names: Vec<_> = f.panels[0].series.iter().map(|e| e.spec.name).collect();
+        assert_eq!(names, ["GMU", "GMU*", "GMU**", "RC"]);
+    }
+
+    #[test]
+    fn fig5_varies_locality() {
+        let f = fig5();
+        let ratios: Vec<f64> = f.panels[0].series.iter().map(|e| e.local_query_ratio).collect();
+        assert_eq!(ratios, [0.1, 0.1, 0.5, 0.5, 0.9, 0.9]);
+    }
+
+    #[test]
+    fn fig6b_uses_six_sites_dt() {
+        let f = fig6b();
+        for p in &f.panels {
+            for e in &p.series {
+                assert_eq!(e.sites, 6);
+                assert_eq!(e.placement, PlacementKind::Dt);
+            }
+        }
+    }
+}

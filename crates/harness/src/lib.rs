@@ -1,0 +1,29 @@
+//! # gdur-harness — the evaluation harness (§8)
+//!
+//! Assembles simulated geo-replicated deployments of the G-DUR middleware,
+//! sweeps closed-loop client counts, and regenerates every table and
+//! figure of the paper's evaluation:
+//!
+//! * [`figures::fig3a`] / [`figures::fig3b`] — the protocol comparison;
+//! * [`figures::fig4`] — the GMU bottleneck ablation;
+//! * [`figures::fig5`] — the locality-aware P-Store improvement;
+//! * [`figures::fig6a`] / [`figures::fig6b`] — 2PC vs AM-Cast
+//!   dependability study;
+//! * Table 2 via `gdur_protocols::table2`; Table 3 via
+//!   [`experiment::WorkloadKind`].
+//!
+//! Run a figure at paper scale with the `gdur-bench` binaries, e.g.
+//! `cargo run --release -p gdur-bench --bin fig3a`.
+
+pub mod experiment;
+pub mod figures;
+pub mod plot;
+pub mod report;
+
+pub use experiment::{
+    max_throughput, run_point, run_sweep, Experiment, PlacementKind, PointResult, Scale,
+    WorkloadKind,
+};
+pub use figures::{all_figures, fig3a, fig3b, fig4, fig5, fig6a, fig6b, Figure, FigurePanel, Metric};
+pub use plot::render_ascii;
+pub use report::{render_csv, render_text, run_and_report, run_figure, FigureResult};

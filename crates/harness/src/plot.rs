@@ -1,0 +1,138 @@
+//! Terminal plotting: renders a panel's latency-vs-throughput curves as an
+//! ASCII chart, so figure binaries give a visual impression of the shapes
+//! the paper's gnuplot figures show.
+
+use crate::experiment::PointResult;
+use crate::figures::Metric;
+use crate::report::PanelResult;
+
+const WIDTH: usize = 72;
+const HEIGHT: usize = 20;
+const GLYPHS: &[u8] = b"*o+x#@%&";
+
+fn metric_of(metric: Metric, p: &PointResult) -> f64 {
+    match metric {
+        Metric::TermLatencyUpdate => p.term_latency_update_ms,
+        Metric::AvgLatency => p.avg_latency_ms,
+        Metric::AbortRatio => p.abort_ratio * 100.0,
+        Metric::MaxThroughput => p.throughput_tps,
+    }
+}
+
+/// Renders one panel as an ASCII x/y chart: x = throughput (tps), y = the
+/// panel metric. Returns `None` for bar-style panels (max throughput).
+pub fn render_ascii(panel: &PanelResult) -> Option<String> {
+    if panel.metric == Metric::MaxThroughput {
+        return None;
+    }
+    let mut max_x: f64 = 0.0;
+    let mut max_y: f64 = 0.0;
+    for s in &panel.series {
+        for p in &s.points {
+            max_x = max_x.max(p.throughput_tps);
+            max_y = max_y.max(metric_of(panel.metric, p));
+        }
+    }
+    if max_x <= 0.0 || max_y <= 0.0 {
+        return None;
+    }
+    let mut grid = vec![vec![b' '; WIDTH]; HEIGHT];
+    for (si, s) in panel.series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for p in &s.points {
+            let x = ((p.throughput_tps / max_x) * (WIDTH - 1) as f64) as usize;
+            let y = ((metric_of(panel.metric, p) / max_y) * (HEIGHT - 1) as f64) as usize;
+            let row = HEIGHT - 1 - y.min(HEIGHT - 1);
+            grid[row][x.min(WIDTH - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{} (y max {:.0})\n", panel.title, max_y));
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{max_y:>8.0} |")
+        } else if i == HEIGHT - 1 {
+            format!("{:>8.0} |", 0.0)
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "         +{}\n          0{:>width$.0} tps\n",
+        "-".repeat(WIDTH),
+        max_x,
+        width = WIDTH - 1
+    ));
+    out.push_str("legend: ");
+    for (si, s) in panel.series.iter().enumerate() {
+        out.push_str(&format!("{}={} ", GLYPHS[si % GLYPHS.len()] as char, s.label));
+    }
+    out.push('\n');
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::SeriesResult;
+
+    fn point(tps: f64, lat: f64) -> PointResult {
+        PointResult {
+            clients_total: 1,
+            throughput_tps: tps,
+            term_latency_update_ms: lat,
+            avg_latency_ms: lat,
+            abort_ratio: 0.0,
+            committed: 1,
+            aborted: 0,
+            p50_latency_ms: lat,
+            p99_latency_ms: lat,
+        }
+    }
+
+    fn panel(metric: Metric) -> PanelResult {
+        PanelResult {
+            title: "test panel".into(),
+            metric,
+            series: vec![
+                SeriesResult {
+                    label: "A".into(),
+                    points: vec![point(100.0, 10.0), point(1000.0, 50.0)],
+                },
+                SeriesResult {
+                    label: "B".into(),
+                    points: vec![point(200.0, 20.0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_curves_and_legend() {
+        let s = render_ascii(&panel(Metric::TermLatencyUpdate)).expect("chart");
+        assert!(s.contains("test panel"));
+        assert!(s.contains("*"), "series A glyph missing");
+        assert!(s.contains("o"), "series B glyph missing");
+        assert!(s.contains("legend: *=A o=B"));
+        // Fixed geometry: HEIGHT rows plus header, axis, and legend.
+        assert_eq!(s.lines().count(), HEIGHT + 4);
+    }
+
+    #[test]
+    fn bar_panels_are_skipped() {
+        assert!(render_ascii(&panel(Metric::MaxThroughput)).is_none());
+    }
+
+    #[test]
+    fn empty_panels_are_skipped() {
+        let p = PanelResult {
+            title: "empty".into(),
+            metric: Metric::AvgLatency,
+            series: vec![],
+        };
+        assert!(render_ascii(&p).is_none());
+    }
+}

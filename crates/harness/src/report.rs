@@ -1,0 +1,215 @@
+//! Running figures and rendering their results as text tables and CSV.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::experiment::{max_throughput, run_sweep, PointResult, Scale};
+use crate::figures::{Figure, Metric};
+
+/// Results of one curve.
+#[derive(Debug, Clone)]
+pub struct SeriesResult {
+    /// Curve label.
+    pub label: String,
+    /// One point per sweep entry.
+    pub points: Vec<PointResult>,
+}
+
+/// Results of one panel.
+#[derive(Debug, Clone)]
+pub struct PanelResult {
+    /// Panel caption.
+    pub title: String,
+    /// Reported metric.
+    pub metric: Metric,
+    /// One series per experiment.
+    pub series: Vec<SeriesResult>,
+}
+
+/// Results of a whole figure.
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    /// Figure id (e.g. `fig3a`).
+    pub id: &'static str,
+    /// Paper caption.
+    pub caption: &'static str,
+    /// Per-panel results.
+    pub panels: Vec<PanelResult>,
+}
+
+/// Sweeps every curve of `fig` at the given scale. Panels run
+/// sequentially; the sweep points inside each curve run in parallel.
+pub fn run_figure(fig: &Figure, scale: &Scale) -> FigureResult {
+    let mut panels = Vec::new();
+    for panel in &fig.panels {
+        let mut series = Vec::new();
+        for exp in &panel.series {
+            let points = run_sweep(exp, scale);
+            series.push(SeriesResult { label: exp.label.clone(), points });
+        }
+        panels.push(PanelResult {
+            title: panel.title.clone(),
+            metric: panel.metric,
+            series,
+        });
+    }
+    FigureResult { id: fig.id, caption: fig.caption, panels }
+}
+
+fn metric_value(metric: Metric, p: &PointResult) -> f64 {
+    match metric {
+        Metric::TermLatencyUpdate => p.term_latency_update_ms,
+        Metric::AvgLatency => p.avg_latency_ms,
+        Metric::AbortRatio => p.abort_ratio * 100.0,
+        Metric::MaxThroughput => p.throughput_tps,
+    }
+}
+
+fn metric_name(metric: Metric) -> &'static str {
+    match metric {
+        Metric::TermLatencyUpdate => "term.lat.upd (ms)",
+        Metric::AvgLatency => "avg latency (ms)",
+        Metric::AbortRatio => "abort ratio (%)",
+        Metric::MaxThroughput => "throughput (tps)",
+    }
+}
+
+/// Renders a figure result as aligned text tables (the binaries' stdout).
+pub fn render_text(res: &FigureResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} : {} ==", res.id, res.caption);
+    for panel in &res.panels {
+        let _ = writeln!(out, "\n-- {} --", panel.title);
+        if panel.metric == Metric::MaxThroughput {
+            let _ = writeln!(out, "{:<24} {:>18}", "series", "max throughput (tps)");
+            for s in &panel.series {
+                let _ = writeln!(out, "{:<24} {:>18.0}", s.label, max_throughput(&s.points));
+            }
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>12} {:>18} {:>10} {:>10}",
+            "series",
+            "clients",
+            "tps",
+            metric_name(panel.metric),
+            "committed",
+            "aborted"
+        );
+        for s in &panel.series {
+            for p in &s.points {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>8} {:>12.0} {:>18.2} {:>10} {:>10}",
+                    s.label,
+                    p.clients_total,
+                    p.throughput_tps,
+                    metric_value(panel.metric, p),
+                    p.committed,
+                    p.aborted
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders a figure result as CSV (one file's contents).
+pub fn render_csv(res: &FigureResult) -> String {
+    let mut out = String::from(
+        "figure,panel,series,clients,throughput_tps,metric,metric_value,committed,aborted,abort_ratio\n",
+    );
+    for panel in &res.panels {
+        for s in &panel.series {
+            for p in &s.points {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{:.1},{},{:.3},{},{},{:.4}",
+                    res.id,
+                    panel.title.replace(',', ";"),
+                    s.label,
+                    p.clients_total,
+                    p.throughput_tps,
+                    metric_name(panel.metric).replace(',', ";"),
+                    metric_value(panel.metric, p),
+                    p.committed,
+                    p.aborted,
+                    p.abort_ratio
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Runs a figure, prints the text table, and stores a CSV next to the
+/// repository under `bench_results/`.
+pub fn run_and_report(fig: &Figure, scale: &Scale) -> FigureResult {
+    let res = run_figure(fig, scale);
+    println!("{}", render_text(&res));
+    for panel in &res.panels {
+        if let Some(chart) = crate::plot::render_ascii(panel) {
+            println!("{chart}");
+        }
+    }
+    let dir = Path::new("bench_results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{}.csv", res.id));
+        if let Err(e) = std::fs::write(&path, render_csv(&res)) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("(csv written to {})", path.display());
+        }
+    }
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureResult {
+        FigureResult {
+            id: "figX",
+            caption: "test",
+            panels: vec![PanelResult {
+                title: "panel".into(),
+                metric: Metric::TermLatencyUpdate,
+                series: vec![SeriesResult {
+                    label: "P-Store".into(),
+                    points: vec![PointResult {
+                        clients_total: 8,
+                        throughput_tps: 1234.0,
+                        term_latency_update_ms: 45.6,
+                        avg_latency_ms: 30.0,
+                        abort_ratio: 0.01,
+                        committed: 9876,
+                        aborted: 99,
+                        p50_latency_ms: 28.0,
+                        p99_latency_ms: 120.0,
+                    }],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn text_contains_series_and_values() {
+        let s = render_text(&sample());
+        assert!(s.contains("P-Store"));
+        assert!(s.contains("1234"));
+        assert!(s.contains("45.6"));
+    }
+
+    #[test]
+    fn csv_is_well_formed() {
+        let s = render_csv(&sample());
+        let mut lines = s.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 10);
+        for l in lines {
+            assert_eq!(l.split(',').count(), 10, "bad row: {l}");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! A small, self-contained binary codec for log records: length-prefixed
+//! frames with varint integers and a checksum trailer, so torn or corrupt
+//! tails are detected at recovery.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Errors surfaced while decoding a log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The frame is shorter than its header claims — a torn write.
+    Truncated,
+    /// The checksum trailer does not match the frame body.
+    ChecksumMismatch {
+        /// Stored checksum.
+        stored: u32,
+        /// Recomputed checksum.
+        computed: u32,
+    },
+    /// An unknown record tag.
+    UnknownTag(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated log frame"),
+            DecodeError::ChecksumMismatch { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#x}, computed {computed:#x}")
+            }
+            DecodeError::UnknownTag(t) => write!(f, "unknown record tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Writes a LEB128 varint.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint.
+pub fn get_varint(buf: &mut impl Buf) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DecodeError::Truncated);
+        }
+        let byte = buf.get_u8();
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(DecodeError::Truncated);
+        }
+    }
+}
+
+/// Writes a length-prefixed byte slice.
+pub fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
+    put_varint(buf, b.len() as u64);
+    buf.put_slice(b);
+}
+
+/// Reads a length-prefixed byte slice.
+pub fn get_bytes(buf: &mut Bytes) -> Result<Bytes, DecodeError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.split_to(len))
+}
+
+/// FNV-1a based 32-bit frame checksum; not cryptographic, just
+/// torn-write detection, like BerkeleyDB's log checksums.
+pub fn checksum(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in data {
+        h ^= u32::from(*b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Frames `body` with a length prefix and checksum trailer.
+pub fn frame(body: &[u8]) -> BytesMut {
+    let mut out = BytesMut::with_capacity(body.len() + 10);
+    put_varint(&mut out, body.len() as u64);
+    out.put_slice(body);
+    out.put_u32_le(checksum(body));
+    out
+}
+
+/// Splits the next frame off `buf`, verifying length and checksum.
+pub fn unframe(buf: &mut Bytes) -> Result<Bytes, DecodeError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len + 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let body = buf.split_to(len);
+    let stored = buf.get_u32_le();
+    let computed = checksum(&body);
+    if stored != computed {
+        return Err(DecodeError::ChecksumMismatch { stored, computed });
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(get_varint(&mut b), Ok(v));
+            assert!(!b.has_remaining());
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_bytes(&mut buf, b"hello");
+        put_bytes(&mut buf, b"");
+        let mut b = buf.freeze();
+        assert_eq!(get_bytes(&mut b).unwrap().as_ref(), b"hello");
+        assert_eq!(get_bytes(&mut b).unwrap().as_ref(), b"");
+    }
+
+    #[test]
+    fn frames_verify_checksums() {
+        let f = frame(b"payload");
+        let mut b = f.freeze();
+        assert_eq!(unframe(&mut b).unwrap().as_ref(), b"payload");
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut f = frame(b"payload");
+        let mid = f.len() / 2;
+        f[mid] ^= 0xff;
+        let mut b = f.freeze();
+        assert!(matches!(
+            unframe(&mut b),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn torn_tail_detected() {
+        let f = frame(b"payload");
+        let mut b = f.freeze();
+        let _ = b.split_off(f_len(&b) - 2); // drop 2 trailing bytes
+        assert_eq!(unframe(&mut b), Err(DecodeError::Truncated));
+    }
+
+    fn f_len(b: &Bytes) -> usize {
+        b.len()
+    }
+
+    #[test]
+    fn varint_truncation_detected() {
+        let mut b = Bytes::from_static(&[0x80, 0x80]); // unterminated varint
+        assert_eq!(get_varint(&mut b), Err(DecodeError::Truncated));
+    }
+}

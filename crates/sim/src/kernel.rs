@@ -1,0 +1,730 @@
+//! The discrete-event kernel: event queue, CPU model, and dispatch loop.
+//!
+//! # Execution model
+//!
+//! Each actor is a queueing station with a configurable number of cores.
+//! An event (message or timer) *arrives* at some instant, waits in the
+//! actor's FIFO pending queue until a core is free, and is then *serviced*:
+//! the handler runs at the service-start instant and charges CPU time via
+//! [`Context::consume`]. All outputs — message sends and timer set-ups —
+//! take effect at service *end*. Message arrival at the destination is
+//! service end plus the network delay returned by the [`LatencyModel`].
+//!
+//! This single model yields the phenomena the G-DUR paper measures:
+//! saturation knees (latency rises when offered load exceeds core capacity),
+//! convoy effects (certification of one transaction delaying another), and
+//! the cost of metadata (bigger stamps → more bytes → more transmission and
+//! marshaling time).
+//!
+//! # Determinism
+//!
+//! The event queue orders by `(time, sequence-number)` where sequence numbers
+//! are assigned at scheduling time, and all randomness flows through one
+//! seeded [`SmallRng`]. Two runs with the same seed produce identical
+//! histories.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::actor::{Actor, ProcessId, WireSize};
+use crate::time::{SimDuration, SimTime};
+
+/// Computes point-to-point message delay.
+///
+/// Implementations live in `gdur-net` (geo-replicated latency matrices); the
+/// trait is defined here so the kernel does not depend on any network policy.
+pub trait LatencyModel {
+    /// Delay for a `bytes`-sized message from `from` to `to`.
+    fn delay(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        bytes: usize,
+        rng: &mut SmallRng,
+    ) -> SimDuration;
+}
+
+/// A zero-delay network, useful for unit tests of protocol logic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroLatency;
+
+impl LatencyModel for ZeroLatency {
+    fn delay(&self, _: ProcessId, _: ProcessId, _: usize, _: &mut SmallRng) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+/// A fixed uniform delay between every pair of distinct processes.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformLatency(pub SimDuration);
+
+impl LatencyModel for UniformLatency {
+    fn delay(&self, from: ProcessId, to: ProcessId, _: usize, _: &mut SmallRng) -> SimDuration {
+        if from == to {
+            SimDuration::ZERO
+        } else {
+            self.0
+        }
+    }
+}
+
+/// Number of CPU cores modeled for an actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cores {
+    /// A fixed number of cores; jobs queue when all are busy.
+    Fixed(u16),
+    /// No CPU contention: every job starts at its arrival instant.
+    ///
+    /// Used for load generators so that only the system under test saturates.
+    Unlimited,
+}
+
+/// Handler-side view of the kernel, passed to every [`Actor`] callback.
+pub struct Context<'a, M> {
+    now: SimTime,
+    self_id: ProcessId,
+    consumed: SimDuration,
+    rng: &'a mut SmallRng,
+    outputs: &'a mut Vec<Output<M>>,
+    next_timer: &'a mut u64,
+    halted: &'a mut bool,
+}
+
+enum Output<M> {
+    Send {
+        to: ProcessId,
+        msg: M,
+        extra: SimDuration,
+    },
+    Timer {
+        id: u64,
+        tag: u64,
+        after: SimDuration,
+    },
+    CancelTimer(u64),
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The virtual instant at which this handler started executing.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the actor running this handler.
+    pub fn self_id(&self) -> ProcessId {
+        self.self_id
+    }
+
+    /// Charges `d` of CPU service time to this handler.
+    ///
+    /// The actor's core stays busy until the accumulated service time
+    /// elapses; outputs depart at that instant.
+    pub fn consume(&mut self, d: SimDuration) {
+        self.consumed += d;
+    }
+
+    /// Total CPU time charged so far in this handler.
+    pub fn consumed(&self) -> SimDuration {
+        self.consumed
+    }
+
+    /// Sends `msg` to `to`; it arrives after this handler's service time plus
+    /// the network delay.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.outputs.push(Output::Send {
+            to,
+            msg,
+            extra: SimDuration::ZERO,
+        });
+    }
+
+    /// Like [`Context::send`] but adds `extra` artificial delay, e.g. to
+    /// model batching or deliberate backoff.
+    pub fn send_delayed(&mut self, to: ProcessId, msg: M, extra: SimDuration) {
+        self.outputs.push(Output::Send { to, msg, extra });
+    }
+
+    /// Schedules [`Actor::on_timer`] with `tag` to fire `after` the end of
+    /// this handler's service time. Returns an id usable with
+    /// [`Context::cancel_timer`].
+    pub fn set_timer(&mut self, after: SimDuration, tag: u64) -> u64 {
+        let id = *self.next_timer;
+        *self.next_timer += 1;
+        self.outputs.push(Output::Timer { id, tag, after });
+        id
+    }
+
+    /// Cancels a timer set earlier. Cancelling an already-fired or unknown
+    /// timer is a no-op.
+    pub fn cancel_timer(&mut self, id: u64) {
+        self.outputs.push(Output::CancelTimer(id));
+    }
+
+    /// Deterministic random-number generator shared by the whole simulation.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Stops the simulation after the current handler completes.
+    pub fn halt(&mut self) {
+        *self.halted = true;
+    }
+}
+
+enum Job<M> {
+    Start,
+    Message { from: ProcessId, msg: M },
+    Timer { id: u64, tag: u64 },
+}
+
+enum EventKind<M> {
+    Arrival(ProcessId, Job<M>),
+    Dispatch(ProcessId),
+}
+
+struct QueuedEvent<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct ActorSlot<A: Actor> {
+    actor: A,
+    /// Free instants of each core (empty when `Cores::Unlimited`).
+    core_free: Vec<SimTime>,
+    unlimited: bool,
+    pending: VecDeque<(u64, Job<A::Msg>)>,
+    /// Earliest Dispatch event already scheduled, to avoid duplicates.
+    dispatch_at: Option<SimTime>,
+    crashed: bool,
+    next_timer: u64,
+    canceled_timers: HashSet<u64>,
+}
+
+/// Aggregate statistics about a finished (or in-flight) simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Handler invocations executed.
+    pub events_processed: u64,
+    /// Messages delivered into pending queues.
+    pub messages_delivered: u64,
+    /// Messages dropped because the destination had crashed.
+    pub messages_dropped: u64,
+}
+
+/// The discrete-event simulation: a set of actors, an event queue, a clock.
+pub struct Simulation<A: Actor, L: LatencyModel> {
+    time: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QueuedEvent<A::Msg>>>,
+    actors: Vec<ActorSlot<A>>,
+    latency: L,
+    rng: SmallRng,
+    halted: bool,
+    started: bool,
+    stats: SimStats,
+    scratch: Vec<Output<A::Msg>>,
+}
+
+impl<A: Actor, L: LatencyModel> Simulation<A, L> {
+    /// Creates an empty simulation with the given network model and RNG seed.
+    pub fn new(latency: L, seed: u64) -> Self {
+        Simulation {
+            time: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            actors: Vec::new(),
+            latency,
+            rng: SmallRng::seed_from_u64(seed),
+            halted: false,
+            started: false,
+            stats: SimStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Adds an actor with the given CPU model; returns its process id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulation has started, or with
+    /// `Cores::Fixed(0)`.
+    pub fn spawn(&mut self, actor: A, cores: Cores) -> ProcessId {
+        assert!(!self.started, "cannot spawn after the simulation started");
+        let (core_free, unlimited) = match cores {
+            Cores::Fixed(n) => {
+                assert!(n > 0, "an actor needs at least one core");
+                (vec![SimTime::ZERO; n as usize], false)
+            }
+            Cores::Unlimited => (Vec::new(), true),
+        };
+        let id = ProcessId(self.actors.len() as u32);
+        self.actors.push(ActorSlot {
+            actor,
+            core_free,
+            unlimited,
+            pending: VecDeque::new(),
+            dispatch_at: None,
+            crashed: false,
+            next_timer: 0,
+            canceled_timers: HashSet::new(),
+        });
+        id
+    }
+
+    /// Number of actors in the world.
+    pub fn len(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// True if no actors have been spawned.
+    pub fn is_empty(&self) -> bool {
+        self.actors.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// The network model in use (e.g. for partition injection handles).
+    pub fn latency_model(&self) -> &L {
+        &self.latency
+    }
+
+    /// Immutable access to an actor, e.g. to read results after a run.
+    pub fn actor(&self, id: ProcessId) -> &A {
+        &self.actors[id.index()].actor
+    }
+
+    /// Mutable access to an actor between runs.
+    pub fn actor_mut(&mut self, id: ProcessId) -> &mut A {
+        &mut self.actors[id.index()].actor
+    }
+
+    /// Iterates over all actors with their ids.
+    pub fn actors(&self) -> impl Iterator<Item = (ProcessId, &A)> {
+        self.actors
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ProcessId(i as u32), &s.actor))
+    }
+
+    /// Marks `id` crashed: its pending jobs are discarded and subsequent
+    /// message and timer arrivals are dropped until [`Simulation::restart`].
+    pub fn crash(&mut self, id: ProcessId) {
+        let slot = &mut self.actors[id.index()];
+        slot.crashed = true;
+        slot.pending.clear();
+    }
+
+    /// Brings a crashed actor back online; its in-memory actor state is
+    /// retained, modeling recovery from a durable log.
+    pub fn restart(&mut self, id: ProcessId) {
+        self.actors[id.index()].crashed = false;
+    }
+
+    /// True if `id` is currently crashed.
+    pub fn is_crashed(&self, id: ProcessId) -> bool {
+        self.actors[id.index()].crashed
+    }
+
+    /// Injects a message from the environment, arriving at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn inject(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg, at: SimTime) {
+        assert!(at >= self.time, "cannot inject into the past");
+        self.push(at, EventKind::Arrival(to, Job::Message { from, msg }));
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind<A::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.actors.len() {
+            self.push(SimTime::ZERO, EventKind::Arrival(ProcessId(i as u32), Job::Start));
+        }
+    }
+
+    /// Runs until the event queue drains, the horizon `until` is reached, or
+    /// an actor halts the simulation. Returns the final virtual time.
+    pub fn run_until(&mut self, until: SimTime) -> SimTime {
+        self.ensure_started();
+        while !self.halted {
+            let Some(Reverse(ev)) = self.queue.peek() else {
+                break;
+            };
+            if ev.time > until {
+                self.time = until;
+                return self.time;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            debug_assert!(ev.time >= self.time, "time went backwards");
+            self.time = ev.time;
+            match ev.kind {
+                EventKind::Arrival(to, job) => self.arrive(to, ev.seq, job),
+                EventKind::Dispatch(to) => {
+                    self.actors[to.index()].dispatch_at = None;
+                    self.try_dispatch(to);
+                }
+            }
+        }
+        self.time
+    }
+
+    /// Runs until the event queue is empty or an actor halts the simulation.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    fn arrive(&mut self, to: ProcessId, seq: u64, job: Job<A::Msg>) {
+        let slot = &mut self.actors[to.index()];
+        if slot.crashed {
+            if matches!(job, Job::Message { .. }) {
+                self.stats.messages_dropped += 1;
+            }
+            return;
+        }
+        if let Job::Timer { id, .. } = &job {
+            if slot.canceled_timers.remove(id) {
+                return;
+            }
+        }
+        if matches!(job, Job::Message { .. }) {
+            self.stats.messages_delivered += 1;
+        }
+        slot.pending.push_back((seq, job));
+        self.try_dispatch(to);
+    }
+
+    /// Services as many pending jobs of `to` as have a free core *now*; if
+    /// jobs remain, schedules a Dispatch event at the earliest core-free
+    /// instant.
+    fn try_dispatch(&mut self, to: ProcessId) {
+        let now = self.time;
+        loop {
+            let slot = &mut self.actors[to.index()];
+            if slot.pending.is_empty() || slot.crashed {
+                return;
+            }
+            if slot.unlimited {
+                let (_, job) = slot.pending.pop_front().expect("nonempty");
+                self.run_job(to, now, job, None);
+                continue;
+            }
+            let (core_idx, free) = slot
+                .core_free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| **t)
+                .map(|(i, t)| (i, *t))
+                .expect("Fixed cores is nonempty");
+            if free > now {
+                match slot.dispatch_at {
+                    Some(at) if at <= free => {}
+                    _ => {
+                        slot.dispatch_at = Some(free);
+                        self.push(free, EventKind::Dispatch(to));
+                    }
+                }
+                return;
+            }
+            let (_, job) = slot.pending.pop_front().expect("nonempty");
+            self.run_job(to, now, job, Some(core_idx));
+        }
+    }
+
+    fn run_job(&mut self, id: ProcessId, start: SimTime, job: Job<A::Msg>, core: Option<usize>) {
+        self.stats.events_processed += 1;
+        let mut outputs = std::mem::take(&mut self.scratch);
+        let consumed;
+        {
+            let slot = &mut self.actors[id.index()];
+            let mut ctx = Context {
+                now: start,
+                self_id: id,
+                consumed: SimDuration::ZERO,
+                rng: &mut self.rng,
+                outputs: &mut outputs,
+                next_timer: &mut slot.next_timer,
+                halted: &mut self.halted,
+            };
+            match job {
+                Job::Start => slot.actor.on_start(&mut ctx),
+                Job::Message { from, msg } => slot.actor.on_message(&mut ctx, from, msg),
+                Job::Timer { tag, .. } => slot.actor.on_timer(&mut ctx, tag),
+            }
+            consumed = ctx.consumed;
+        }
+        let end = start + consumed;
+        if let Some(core_idx) = core {
+            self.actors[id.index()].core_free[core_idx] = end;
+        }
+        for out in outputs.drain(..) {
+            match out {
+                Output::Send { to, msg, extra } => {
+                    let bytes = msg.wire_size();
+                    let delay = self.latency.delay(id, to, bytes, &mut self.rng);
+                    self.push(
+                        end + extra + delay,
+                        EventKind::Arrival(to, Job::Message { from: id, msg }),
+                    );
+                }
+                Output::Timer { id: tid, tag, after } => {
+                    self.push(end + after, EventKind::Arrival(id, Job::Timer { id: tid, tag }));
+                }
+                Output::CancelTimer(tid) => {
+                    self.actors[id.index()].canceled_timers.insert(tid);
+                }
+            }
+        }
+        self.scratch = outputs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A test actor that records deliveries and echoes pings.
+    struct Echo {
+        log: Vec<(SimTime, ProcessId, u32)>,
+        peer: Option<ProcessId>,
+        send_on_start: bool,
+        cost: SimDuration,
+    }
+
+    impl Echo {
+        fn new() -> Self {
+            Echo {
+                log: Vec::new(),
+                peer: None,
+                send_on_start: false,
+                cost: SimDuration::ZERO,
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    struct Ping(u32);
+    impl WireSize for Ping {
+        fn wire_size(&self) -> usize {
+            64
+        }
+    }
+
+    impl Actor for Echo {
+        type Msg = Ping;
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            if self.send_on_start {
+                ctx.send(self.peer.expect("peer set"), Ping(0));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: ProcessId, msg: Ping) {
+            ctx.consume(self.cost);
+            self.log.push((ctx.now(), from, msg.0));
+            if msg.0 < 3 {
+                ctx.send(from, Ping(msg.0 + 1));
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Ping>, tag: u64) {
+            self.log.push((ctx.now(), ctx.self_id(), tag as u32 + 1000));
+        }
+    }
+
+    #[test]
+    fn ping_pong_with_uniform_latency() {
+        let mut sim = Simulation::new(UniformLatency(SimDuration::from_millis(10)), 1);
+        let a = sim.spawn(Echo::new(), Cores::Fixed(1));
+        let b = sim.spawn(Echo::new(), Cores::Fixed(1));
+        sim.actor_mut(a).peer = Some(b);
+        sim.actor_mut(a).send_on_start = true;
+        sim.run_until_idle();
+        // b gets 0 at 10ms, a gets 1 at 20ms, b gets 2 at 30ms, a gets 3 at 40ms.
+        assert_eq!(
+            sim.actor(b).log,
+            vec![
+                (SimTime::from_nanos(10_000_000), a, 0),
+                (SimTime::from_nanos(30_000_000), a, 2)
+            ]
+        );
+        assert_eq!(
+            sim.actor(a).log,
+            vec![
+                (SimTime::from_nanos(20_000_000), b, 1),
+                (SimTime::from_nanos(40_000_000), b, 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn cpu_queueing_serializes_jobs() {
+        // Two messages arrive at t=0; with 1 core and 5ms service each, the
+        // second is serviced at t=5ms.
+        struct Sink {
+            starts: Vec<SimTime>,
+        }
+        impl Actor for Sink {
+            type Msg = Ping;
+            fn on_message(&mut self, ctx: &mut Context<'_, Ping>, _: ProcessId, _: Ping) {
+                self.starts.push(ctx.now());
+                ctx.consume(SimDuration::from_millis(5));
+            }
+        }
+        let mut sim = Simulation::new(ZeroLatency, 1);
+        let s = sim.spawn(Sink { starts: vec![] }, Cores::Fixed(1));
+        sim.inject(ProcessId(99), s, Ping(1), SimTime::ZERO);
+        sim.inject(ProcessId(99), s, Ping(2), SimTime::ZERO);
+        sim.run_until_idle();
+        assert_eq!(
+            sim.actor(s).starts,
+            vec![SimTime::ZERO, SimTime::from_nanos(5_000_000)]
+        );
+    }
+
+    #[test]
+    fn multicore_runs_in_parallel() {
+        struct Sink {
+            starts: Vec<SimTime>,
+        }
+        impl Actor for Sink {
+            type Msg = Ping;
+            fn on_message(&mut self, ctx: &mut Context<'_, Ping>, _: ProcessId, _: Ping) {
+                self.starts.push(ctx.now());
+                ctx.consume(SimDuration::from_millis(5));
+            }
+        }
+        let mut sim = Simulation::new(ZeroLatency, 1);
+        let s = sim.spawn(Sink { starts: vec![] }, Cores::Fixed(2));
+        for _ in 0..3 {
+            sim.inject(ProcessId(99), s, Ping(9), SimTime::ZERO);
+        }
+        sim.run_until_idle();
+        assert_eq!(
+            sim.actor(s).starts,
+            vec![SimTime::ZERO, SimTime::ZERO, SimTime::from_nanos(5_000_000)]
+        );
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct T {
+            fired: Vec<u64>,
+            cancel_second: bool,
+        }
+        impl Actor for T {
+            type Msg = Ping;
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                ctx.set_timer(SimDuration::from_millis(1), 7);
+                let id = ctx.set_timer(SimDuration::from_millis(2), 8);
+                if self.cancel_second {
+                    ctx.cancel_timer(id);
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Ping>, _: ProcessId, _: Ping) {}
+            fn on_timer(&mut self, _: &mut Context<'_, Ping>, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut sim = Simulation::new(ZeroLatency, 1);
+        let t = sim.spawn(
+            T {
+                fired: vec![],
+                cancel_second: true,
+            },
+            Cores::Fixed(1),
+        );
+        sim.run_until_idle();
+        assert_eq!(sim.actor(t).fired, vec![7]);
+
+        let mut sim = Simulation::new(ZeroLatency, 1);
+        let t = sim.spawn(
+            T {
+                fired: vec![],
+                cancel_second: false,
+            },
+            Cores::Fixed(1),
+        );
+        sim.run_until_idle();
+        assert_eq!(sim.actor(t).fired, vec![7, 8]);
+    }
+
+    #[test]
+    fn crash_drops_messages_and_restart_resumes() {
+        let mut sim = Simulation::new(ZeroLatency, 1);
+        let a = sim.spawn(Echo::new(), Cores::Fixed(1));
+        sim.crash(a);
+        sim.inject(ProcessId(99), a, Ping(9), SimTime::ZERO);
+        sim.run_until(SimTime::from_nanos(1));
+        assert!(sim.actor(a).log.is_empty());
+        assert_eq!(sim.stats().messages_dropped, 1);
+        sim.restart(a);
+        sim.inject(ProcessId(99), a, Ping(9), SimTime::from_nanos(2));
+        sim.run_until_idle();
+        assert_eq!(sim.actor(a).log.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        fn run(seed: u64) -> Vec<(SimTime, ProcessId, u32)> {
+            let mut sim = Simulation::new(UniformLatency(SimDuration::from_millis(3)), seed);
+            let a = sim.spawn(Echo::new(), Cores::Fixed(1));
+            let b = sim.spawn(Echo::new(), Cores::Fixed(1));
+            sim.actor_mut(a).peer = Some(b);
+            sim.actor_mut(a).send_on_start = true;
+            sim.run_until_idle();
+            sim.actor(a).log.clone()
+        }
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Simulation::new(UniformLatency(SimDuration::from_millis(10)), 1);
+        let a = sim.spawn(Echo::new(), Cores::Fixed(1));
+        let b = sim.spawn(Echo::new(), Cores::Fixed(1));
+        sim.actor_mut(a).peer = Some(b);
+        sim.actor_mut(a).send_on_start = true;
+        let t = sim.run_until(SimTime::from_nanos(15_000_000));
+        assert_eq!(t, SimTime::from_nanos(15_000_000));
+        // Only the first delivery (at 10ms) has happened.
+        assert_eq!(sim.actor(b).log.len(), 1);
+        assert_eq!(sim.actor(a).log.len(), 0);
+        sim.run_until_idle();
+        assert_eq!(sim.actor(a).log.len(), 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the simulation kernel: determinism, message
+//! conservation, and service-time monotonicity under random topologies and
+//! traffic patterns.
+
+use gdur_sim::{
+    Actor, Context, Cores, ProcessId, SimDuration, SimTime, Simulation, UniformLatency, WireSize,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct Token(u32);
+
+impl WireSize for Token {
+    fn wire_size(&self) -> usize {
+        32
+    }
+}
+
+/// Forwards each token `hops` more times to a fixed next peer, recording
+/// receipt times.
+struct Relay {
+    next: ProcessId,
+    cost: SimDuration,
+    received: Vec<(SimTime, u32)>,
+}
+
+impl Actor for Relay {
+    type Msg = Token;
+    fn on_message(&mut self, ctx: &mut Context<'_, Token>, _from: ProcessId, msg: Token) {
+        ctx.consume(self.cost);
+        self.received.push((ctx.now(), msg.0));
+        if msg.0 > 0 {
+            ctx.send(self.next, Token(msg.0 - 1));
+        }
+    }
+}
+
+fn run(
+    n: usize,
+    cores: u16,
+    cost_us: u64,
+    latency_us: u64,
+    injections: &[(usize, u32)],
+    seed: u64,
+) -> Vec<Vec<(SimTime, u32)>> {
+    let mut sim = Simulation::new(
+        UniformLatency(SimDuration::from_micros(latency_us)),
+        seed,
+    );
+    for i in 0..n {
+        sim.spawn(
+            Relay {
+                next: ProcessId(((i + 1) % n) as u32),
+                cost: SimDuration::from_micros(cost_us),
+                received: Vec::new(),
+            },
+            Cores::Fixed(cores),
+        );
+    }
+    for (i, (target, hops)) in injections.iter().enumerate() {
+        sim.inject(
+            ProcessId(9999),
+            ProcessId((*target % n) as u32),
+            Token(*hops),
+            SimTime::from_nanos(i as u64),
+        );
+    }
+    sim.run_until_idle();
+    (0..n)
+        .map(|i| sim.actor(ProcessId(i as u32)).received.clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn same_seed_same_history(
+        n in 2usize..5,
+        cores in 1u16..3,
+        cost in 0u64..50,
+        latency in 0u64..200,
+        injections in prop::collection::vec((0usize..4, 0u32..6), 1..6),
+        seed in 0u64..1000,
+    ) {
+        let a = run(n, cores, cost, latency, &injections, seed);
+        let b = run(n, cores, cost, latency, &injections, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_injected_hop_is_delivered(
+        n in 2usize..5,
+        cores in 1u16..3,
+        cost in 0u64..50,
+        latency in 0u64..200,
+        injections in prop::collection::vec((0usize..4, 0u32..6), 1..6),
+    ) {
+        let logs = run(n, cores, cost, latency, &injections, 7);
+        let delivered: usize = logs.iter().map(|l| l.len()).sum();
+        let expected: usize = injections.iter().map(|(_, h)| *h as usize + 1).sum();
+        prop_assert_eq!(delivered, expected, "token hops lost or duplicated");
+    }
+
+    #[test]
+    fn receipt_times_are_monotone_per_actor(
+        injections in prop::collection::vec((0usize..3, 0u32..8), 1..8),
+        cost in 1u64..100,
+    ) {
+        let logs = run(3, 1, cost, 50, &injections, 3);
+        for l in logs {
+            for w in l.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0, "service start times went backwards");
+            }
+        }
+    }
+
+    /// More cores never slow a fixed workload down (service-time
+    /// monotonicity of the queueing model).
+    #[test]
+    fn more_cores_never_hurt(
+        injections in prop::collection::vec((0usize..3, 1u32..6), 2..8),
+        cost in 10u64..200,
+    ) {
+        let finish = |cores: u16| -> SimTime {
+            let logs = run(3, cores, cost, 30, &injections, 5);
+            logs.iter()
+                .flat_map(|l| l.iter().map(|(t, _)| *t))
+                .max()
+                .unwrap_or(SimTime::ZERO)
+        };
+        prop_assert!(finish(4) <= finish(1));
+    }
+}

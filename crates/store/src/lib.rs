@@ -1,0 +1,30 @@
+//! # gdur-store — multi-version, partially replicated datastore
+//!
+//! The storage substrate of the G-DUR reproduction:
+//!
+//! * [`Key`], [`Value`], [`TxId`] — fundamental identifiers;
+//! * [`Placement`] — key → partition → replica-sites mapping, with the
+//!   paper's disaster-prone (1 replica) and disaster-tolerant (2 replicas)
+//!   configurations;
+//! * [`MultiVersionStore`] — the per-replica version store with the three
+//!   read paths used by `choose_last` / `choose_cons` (§4.2).
+//!
+//! ```
+//! use gdur_store::{Key, MultiVersionStore, Placement, Value};
+//! use gdur_versioning::Stamp;
+//!
+//! let placement = Placement::disaster_tolerant(3);
+//! assert_eq!(placement.replicas_of_key(Key(0)).len(), 2);
+//!
+//! let mut store = MultiVersionStore::new();
+//! store.seed(Key(0), Value::from_u64(7), Stamp::Ts(0));
+//! assert_eq!(store.latest(Key(0)).unwrap().value.as_u64(), Some(7));
+//! ```
+
+mod mvstore;
+mod placement;
+mod types;
+
+pub use mvstore::{MultiVersionStore, VersionRecord, SEED_TX};
+pub use placement::{PartitionId, Placement};
+pub use types::{Key, TxId, Value};

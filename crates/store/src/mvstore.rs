@@ -1,0 +1,282 @@
+//! The multi-version object store held by each replica (`ds` in the paper's
+//! Algorithms 1–2).
+//!
+//! Every key maps to a list of committed versions in install order. The
+//! three read paths of §4.2 are provided:
+//!
+//! * [`MultiVersionStore::latest`] — `choose_last`;
+//! * [`MultiVersionStore::latest_visible`] — `choose_cons` under a fixed
+//!   VTS snapshot;
+//! * [`MultiVersionStore::latest_compatible`] — `choose_cons` under greedy
+//!   GMV/PDV snapshot assembly.
+
+use std::collections::HashMap;
+
+use gdur_versioning::{Stamp, VersionVec};
+
+use crate::types::{Key, TxId, Value};
+
+/// One committed version of an object.
+#[derive(Debug, Clone)]
+pub struct VersionRecord {
+    /// The payload.
+    pub value: Value,
+    /// Mechanism-specific version number Θ(xᵢ).
+    pub stamp: Stamp,
+    /// Per-key monotone sequence: 0 is the seed version, certification
+    /// compares these to detect stale reads and overwritten bases.
+    pub seq: u64,
+    /// Transaction that wrote this version.
+    pub writer: TxId,
+}
+
+/// The transaction id used for seed (initial-load) versions.
+pub const SEED_TX: TxId = TxId { coord: u32::MAX, seq: 0 };
+
+/// A replica-local multi-version store over the keys of the partitions the
+/// replica hosts.
+#[derive(Debug, Clone)]
+pub struct MultiVersionStore {
+    data: HashMap<Key, Vec<VersionRecord>>,
+    /// Cap on retained versions per key (garbage collection); the paper's
+    /// `post_commit` hook is where real systems trigger this.
+    max_versions: usize,
+}
+
+impl Default for MultiVersionStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MultiVersionStore {
+    /// Default number of versions retained per key.
+    pub const DEFAULT_MAX_VERSIONS: usize = 8;
+
+    /// An empty store.
+    pub fn new() -> Self {
+        MultiVersionStore {
+            data: HashMap::new(),
+            max_versions: Self::DEFAULT_MAX_VERSIONS,
+        }
+    }
+
+    /// Sets the per-key version-retention cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn with_max_versions(mut self, max: usize) -> Self {
+        assert!(max > 0, "must retain at least one version");
+        self.max_versions = max;
+        self
+    }
+
+    /// Loads the initial version of `key` (seq 0, seed writer).
+    pub fn seed(&mut self, key: Key, value: Value, stamp: Stamp) {
+        self.data.entry(key).or_default().push(VersionRecord {
+            value,
+            stamp,
+            seq: 0,
+            writer: SEED_TX,
+        });
+    }
+
+    /// True if the replica holds a copy of `key`.
+    pub fn contains_key(&self, key: Key) -> bool {
+        self.data.contains_key(&key)
+    }
+
+    /// Number of keys stored here.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The most recent committed version of `key` (`choose_last`).
+    pub fn latest(&self, key: Key) -> Option<&VersionRecord> {
+        self.data.get(&key).and_then(|v| v.last())
+    }
+
+    /// Per-key sequence of the latest version, or `None` if absent.
+    pub fn latest_seq(&self, key: Key) -> Option<u64> {
+        self.latest(key).map(|r| r.seq)
+    }
+
+    /// The most recent version of `key` visible in the fixed snapshot
+    /// vector `snap` (VTS semantics: version visible iff its origin entry
+    /// is covered by the snapshot).
+    pub fn latest_visible(&self, key: Key, snap: &VersionVec) -> Option<&VersionRecord> {
+        self.data
+            .get(&key)?
+            .iter()
+            .rev()
+            .find(|r| r.stamp.visible_in(snap))
+    }
+
+    /// The most recent version of `key` whose stamp is pairwise compatible
+    /// (§4.2) with every stamp in `priors` — the GMV/PDV `choose_cons`.
+    pub fn latest_compatible<'a>(
+        &'a self,
+        key: Key,
+        priors: &[Stamp],
+    ) -> Option<&'a VersionRecord> {
+        self.data
+            .get(&key)?
+            .iter()
+            .rev()
+            .find(|r| priors.iter().all(|p| r.stamp.compatible(p)))
+    }
+
+    /// All retained versions of `key` in install order (oldest first), for
+    /// callers that apply their own snapshot predicate.
+    pub fn versions(&self, key: Key) -> Option<&[VersionRecord]> {
+        self.data.get(&key).map(|v| v.as_slice())
+    }
+
+    /// A specific historical version by per-key sequence.
+    pub fn version_at(&self, key: Key, seq: u64) -> Option<&VersionRecord> {
+        self.data.get(&key)?.iter().find(|r| r.seq == seq)
+    }
+
+    /// Installs a new committed version of `key`, returning its per-key
+    /// sequence. Old versions beyond the retention cap are garbage
+    /// collected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was never seeded: replicas only apply after-values
+    /// for keys of partitions they host.
+    pub fn install(&mut self, key: Key, value: Value, stamp: Stamp, writer: TxId) -> u64 {
+        let versions = self
+            .data
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("install on unknown key {key}"));
+        let seq = versions.last().map(|r| r.seq + 1).unwrap_or(0);
+        versions.push(VersionRecord {
+            value,
+            stamp,
+            seq,
+            writer,
+        });
+        if versions.len() > self.max_versions {
+            let excess = versions.len() - self.max_versions;
+            versions.drain(..excess);
+        }
+        seq
+    }
+
+    /// Iterates over keys held by this replica.
+    pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.data.keys().copied()
+    }
+
+    /// Number of retained versions of `key`.
+    pub fn version_count(&self, key: Key) -> usize {
+        self.data.get(&key).map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(n: u64) -> Stamp {
+        Stamp::Ts(n)
+    }
+
+    fn vstamp(origin: u32, entries: &[u64]) -> Stamp {
+        Stamp::Vec {
+            origin,
+            vec: VersionVec::from_entries(entries.to_vec()),
+        }
+    }
+
+    fn tx(n: u64) -> TxId {
+        TxId::new(1, n)
+    }
+
+    #[test]
+    fn seed_then_latest() {
+        let mut s = MultiVersionStore::new();
+        s.seed(Key(1), Value::from_u64(10), ts(0));
+        assert_eq!(s.latest(Key(1)).unwrap().seq, 0);
+        assert_eq!(s.latest(Key(1)).unwrap().writer, SEED_TX);
+        assert_eq!(s.latest_seq(Key(2)), None);
+        assert!(s.contains_key(Key(1)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn install_bumps_seq() {
+        let mut s = MultiVersionStore::new();
+        s.seed(Key(1), Value::from_u64(0), ts(0));
+        assert_eq!(s.install(Key(1), Value::from_u64(1), ts(1), tx(1)), 1);
+        assert_eq!(s.install(Key(1), Value::from_u64(2), ts(2), tx(2)), 2);
+        assert_eq!(s.latest_seq(Key(1)), Some(2));
+        assert_eq!(s.latest(Key(1)).unwrap().value.as_u64(), Some(2));
+        assert_eq!(s.version_at(Key(1), 1).unwrap().value.as_u64(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown key")]
+    fn install_unknown_key_panics() {
+        let mut s = MultiVersionStore::new();
+        s.install(Key(9), Value::empty(), ts(1), tx(1));
+    }
+
+    #[test]
+    fn retention_cap_drops_oldest() {
+        let mut s = MultiVersionStore::new().with_max_versions(2);
+        s.seed(Key(1), Value::from_u64(0), ts(0));
+        s.install(Key(1), Value::from_u64(1), ts(1), tx(1));
+        s.install(Key(1), Value::from_u64(2), ts(2), tx(2));
+        assert_eq!(s.version_count(Key(1)), 2);
+        assert!(s.version_at(Key(1), 0).is_none(), "seed GCed");
+        assert_eq!(s.latest_seq(Key(1)), Some(2));
+    }
+
+    #[test]
+    fn visible_in_snapshot_picks_covered_version() {
+        let mut s = MultiVersionStore::new();
+        // Object in partition 0 with versions at partition-seq 1 and 2.
+        s.seed(Key(1), Value::from_u64(0), vstamp(0, &[0, 0]));
+        s.install(Key(1), Value::from_u64(1), vstamp(0, &[1, 0]), tx(1));
+        s.install(Key(1), Value::from_u64(2), vstamp(0, &[2, 0]), tx(2));
+        let snap = VersionVec::from_entries(vec![1, 5]);
+        let r = s.latest_visible(Key(1), &snap).unwrap();
+        assert_eq!(r.value.as_u64(), Some(1), "seq-2 version not yet visible");
+        let fresh = VersionVec::from_entries(vec![9, 9]);
+        assert_eq!(
+            s.latest_visible(Key(1), &fresh).unwrap().value.as_u64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn compatible_read_skips_conflicting_fresh_version() {
+        let mut s = MultiVersionStore::new();
+        // y lives in partition 1; its v1 was written with no deps, its v2 by
+        // a txn that observed version 2 of partition 0.
+        s.seed(Key(1), Value::from_u64(0), vstamp(1, &[0, 0]));
+        s.install(Key(1), Value::from_u64(1), vstamp(1, &[0, 1]), tx(1));
+        s.install(Key(1), Value::from_u64(2), vstamp(1, &[2, 2]), tx(2));
+        // The transaction already read version 1 of partition 0:
+        let prior = vstamp(0, &[1, 0]);
+        let r = s.latest_compatible(Key(1), &[prior]).unwrap();
+        assert_eq!(
+            r.value.as_u64(),
+            Some(1),
+            "v2 depends on partition-0 seq 2 > 1, must fall back to v1"
+        );
+        // With no priors, freshest version wins.
+        assert_eq!(
+            s.latest_compatible(Key(1), &[]).unwrap().value.as_u64(),
+            Some(2)
+        );
+    }
+}

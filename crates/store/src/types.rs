@@ -1,0 +1,123 @@
+//! Fundamental datastore identifiers: keys, values, transaction ids.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies an object in the datastore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Key(pub u64);
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// The payload of an object version.
+///
+/// Backed by [`Bytes`] so that propagating after-values to remote replicas
+/// clones a reference, not the payload.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Value(Bytes);
+
+impl Value {
+    /// An empty value.
+    pub fn empty() -> Self {
+        Value(Bytes::new())
+    }
+
+    /// A value of `n` zero bytes — used by workload generators to model the
+    /// paper's 1 KB payloads without fabricating content.
+    pub fn of_size(n: usize) -> Self {
+        Value(Bytes::from(vec![0u8; n]))
+    }
+
+    /// Wraps raw bytes.
+    pub fn from_bytes(b: Bytes) -> Self {
+        Value(b)
+    }
+
+    /// Encodes a `u64` (convenient for counter-style examples).
+    pub fn from_u64(v: u64) -> Self {
+        Value(Bytes::copy_from_slice(&v.to_be_bytes()))
+    }
+
+    /// Decodes a value previously produced by [`Value::from_u64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        self.0.as_ref().try_into().ok().map(u64::from_be_bytes)
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Bytes> for Value {
+    fn from(b: Bytes) -> Self {
+        Value(b)
+    }
+}
+
+/// Globally unique transaction identifier: coordinating process + local
+/// sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxId {
+    /// Process id (dense index) of the coordinator.
+    pub coord: u32,
+    /// Coordinator-local transaction sequence number.
+    pub seq: u64,
+}
+
+impl TxId {
+    /// Creates a transaction id.
+    pub fn new(coord: u32, seq: u64) -> Self {
+        TxId { coord, seq }
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}.{}", self.coord, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_u64_roundtrip() {
+        assert_eq!(Value::from_u64(42).as_u64(), Some(42));
+        assert_eq!(Value::of_size(3).as_u64(), None);
+    }
+
+    #[test]
+    fn value_sizes() {
+        assert_eq!(Value::of_size(1024).len(), 1024);
+        assert!(Value::empty().is_empty());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Key(3)), "k3");
+        assert_eq!(format!("{}", TxId::new(2, 9)), "t2.9");
+    }
+
+    #[test]
+    fn txid_orders_by_coord_then_seq() {
+        assert!(TxId::new(1, 9) < TxId::new(2, 0));
+        assert!(TxId::new(1, 1) < TxId::new(1, 2));
+    }
+}

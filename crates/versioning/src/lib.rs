@@ -1,0 +1,26 @@
+//! # gdur-versioning — version tracking and snapshot compatibility (§4)
+//!
+//! Implements the five versioning mechanisms G-DUR supports — scalar
+//! timestamps (TS), vector clocks (VC), vector timestamps (VTS), GMU
+//! vectors (GMV) and partitioned dependence vectors (PDV) — as values of a
+//! single [`Stamp`] type, together with the lattice operations on
+//! [`VersionVec`] and the §4.2 *versions-compatibility test* that
+//! `choose_cons` uses to assemble consistent snapshots on the fly.
+//!
+//! ```
+//! use gdur_versioning::{Mechanism, Stamp, VersionVec};
+//!
+//! // A version of an object in partition 0, written by a transaction whose
+//! // dependence vector is [1, 0]:
+//! let x = Stamp::Vec { origin: 0, vec: VersionVec::from_entries(vec![1, 0]) };
+//! // A later version in partition 1 that observed x:
+//! let y = Stamp::Vec { origin: 1, vec: VersionVec::from_entries(vec![1, 1]) };
+//! assert!(x.compatible(&y));
+//! assert_eq!(Mechanism::Pdv.dim(4, 2), 2);
+//! ```
+
+mod stamp;
+mod vec;
+
+pub use stamp::{Mechanism, Stamp};
+pub use vec::VersionVec;

@@ -1,0 +1,196 @@
+//! Fixed-dimension version vectors: the common representation behind the
+//! VC, VTS, GMV and PDV mechanisms.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A vector of logical-clock entries, one per index of some index space
+/// (replicas for VC/VTS/GMV, partitions for PDV).
+///
+/// Version vectors form a lattice under the pointwise order: `a <= b` iff
+/// every entry of `a` is `<=` the corresponding entry of `b`; the join
+/// ([`VersionVec::merge`]) is the pointwise maximum.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VersionVec {
+    entries: Vec<u64>,
+}
+
+impl VersionVec {
+    /// The all-zero vector of dimension `dim`.
+    pub fn zero(dim: usize) -> Self {
+        VersionVec {
+            entries: vec![0; dim],
+        }
+    }
+
+    /// Builds a vector from explicit entries.
+    pub fn from_entries(entries: Vec<u64>) -> Self {
+        VersionVec { entries }
+    }
+
+    /// Number of entries.
+    pub fn dim(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Entry at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> u64 {
+        self.entries[i]
+    }
+
+    /// Sets entry `i` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, v: u64) {
+        self.entries[i] = v;
+    }
+
+    /// Increments entry `i` and returns the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bump(&mut self, i: usize) -> u64 {
+        self.entries[i] += 1;
+        self.entries[i]
+    }
+
+    /// Pointwise maximum with `other`, in place (lattice join).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn merge(&mut self, other: &VersionVec) {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Returns the pointwise maximum of two vectors (lattice join).
+    pub fn joined(mut self, other: &VersionVec) -> VersionVec {
+        self.merge(other);
+        self
+    }
+
+    /// Pointwise `<=` (the lattice order).
+    pub fn leq(&self, other: &VersionVec) -> bool {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.entries.iter().zip(&other.entries).all(|(a, b)| a <= b)
+    }
+
+    /// True if the two vectors are incomparable under the pointwise order —
+    /// i.e. the versions they stamp are concurrent.
+    pub fn concurrent(&self, other: &VersionVec) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Approximate serialized size in bytes (8 bytes per entry).
+    pub fn wire_size(&self) -> usize {
+        self.entries.len() * 8
+    }
+}
+
+impl PartialOrd for VersionVec {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        let le = self.leq(other);
+        let ge = other.leq(self);
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+impl fmt::Display for VersionVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(e: &[u64]) -> VersionVec {
+        VersionVec::from_entries(e.to_vec())
+    }
+
+    #[test]
+    fn zero_is_bottom() {
+        let z = VersionVec::zero(3);
+        assert!(z.leq(&v(&[1, 2, 3])));
+        assert!(z.leq(&z));
+    }
+
+    #[test]
+    fn leq_is_pointwise() {
+        assert!(v(&[1, 2]).leq(&v(&[1, 3])));
+        assert!(!v(&[2, 2]).leq(&v(&[1, 3])));
+    }
+
+    #[test]
+    fn concurrency_detection() {
+        assert!(v(&[1, 0]).concurrent(&v(&[0, 1])));
+        assert!(!v(&[1, 0]).concurrent(&v(&[1, 1])));
+    }
+
+    #[test]
+    fn merge_is_join() {
+        let mut a = v(&[1, 5, 0]);
+        a.merge(&v(&[3, 2, 0]));
+        assert_eq!(a, v(&[3, 5, 0]));
+        // join is an upper bound
+        assert!(v(&[1, 5, 0]).leq(&a));
+        assert!(v(&[3, 2, 0]).leq(&a));
+    }
+
+    #[test]
+    fn bump_and_get() {
+        let mut a = VersionVec::zero(2);
+        assert_eq!(a.bump(1), 1);
+        assert_eq!(a.bump(1), 2);
+        assert_eq!(a.get(0), 0);
+        assert_eq!(a.get(1), 2);
+    }
+
+    #[test]
+    fn partial_ord_matches_leq() {
+        assert_eq!(v(&[1, 1]).partial_cmp(&v(&[1, 1])), Some(Ordering::Equal));
+        assert_eq!(v(&[1, 0]).partial_cmp(&v(&[1, 1])), Some(Ordering::Less));
+        assert_eq!(v(&[1, 1]).partial_cmp(&v(&[1, 0])), Some(Ordering::Greater));
+        assert_eq!(v(&[1, 0]).partial_cmp(&v(&[0, 1])), None);
+    }
+
+    #[test]
+    fn wire_size_is_8_per_entry() {
+        assert_eq!(VersionVec::zero(4).wire_size(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        v(&[1]).leq(&v(&[1, 2]));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the versioning lattice and compatibility tests.
+
+use gdur_versioning::{Stamp, VersionVec};
+use proptest::prelude::*;
+
+const DIM: usize = 4;
+
+fn arb_vec() -> impl Strategy<Value = VersionVec> {
+    prop::collection::vec(0u64..16, DIM).prop_map(VersionVec::from_entries)
+}
+
+fn arb_stamp() -> impl Strategy<Value = Stamp> {
+    (0u32..DIM as u32, arb_vec()).prop_map(|(origin, vec)| Stamp::Vec { origin, vec })
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in arb_vec(), b in arb_vec()) {
+        prop_assert_eq!(a.clone().joined(&b), b.clone().joined(&a));
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_vec(), b in arb_vec(), c in arb_vec()) {
+        let left = a.clone().joined(&b).joined(&c);
+        let right = a.clone().joined(&b.clone().joined(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_idempotent(a in arb_vec()) {
+        prop_assert_eq!(a.clone().joined(&a), a);
+    }
+
+    #[test]
+    fn merge_is_least_upper_bound(a in arb_vec(), b in arb_vec(), c in arb_vec()) {
+        let j = a.clone().joined(&b);
+        prop_assert!(a.leq(&j) && b.leq(&j));
+        // Any other upper bound dominates the join.
+        if a.leq(&c) && b.leq(&c) {
+            prop_assert!(j.leq(&c));
+        }
+    }
+
+    #[test]
+    fn leq_is_reflexive_and_transitive(a in arb_vec(), b in arb_vec(), c in arb_vec()) {
+        prop_assert!(a.leq(&a));
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+    }
+
+    #[test]
+    fn leq_is_antisymmetric(a in arb_vec(), b in arb_vec()) {
+        if a.leq(&b) && b.leq(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn concurrent_is_symmetric_and_irreflexive(a in arb_vec(), b in arb_vec()) {
+        prop_assert_eq!(a.concurrent(&b), b.concurrent(&a));
+        prop_assert!(!a.concurrent(&a));
+    }
+
+    #[test]
+    fn compatibility_is_symmetric(x in arb_stamp(), y in arb_stamp()) {
+        prop_assert_eq!(x.compatible(&y), y.compatible(&x));
+    }
+
+    #[test]
+    fn compatibility_is_reflexive(x in arb_stamp()) {
+        prop_assert!(x.compatible(&x));
+    }
+
+    #[test]
+    fn causally_ordered_stamps_are_compatible(x in arb_stamp(), bump in 0u32..DIM as u32) {
+        // A transaction that merges x's vector and then writes elsewhere
+        // produces a stamp compatible with x.
+        let Stamp::Vec { vec, .. } = &x else { unreachable!() };
+        let mut v2 = vec.clone();
+        v2.bump(bump as usize);
+        let y = Stamp::Vec { origin: bump, vec: v2 };
+        // y observed x's own entry, so x's entry at y's origin <= y's, and
+        // y's at x's origin >= x's.
+        // exception: same origin — y overwrote x's partition, which is a
+        // newer version of the same index and thus incompatible.
+        let same_origin = matches!(&x, Stamp::Vec { origin, .. } if *origin == bump);
+        let ok = x.compatible(&y) || same_origin;
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn visibility_is_monotone_in_snapshot(x in arb_stamp(), s in arb_vec(), t in arb_vec()) {
+        if s.leq(&t) && x.visible_in(&s) {
+            prop_assert!(x.visible_in(&t));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! YCSB-style zipfian key selection.
+//!
+//! Implements the Gray et al. quick zipfian sampler used by YCSB
+//! (`ZipfianGenerator`), plus the scrambled variant that hashes ranks so
+//! popular keys spread across the keyspace (and therefore across
+//! partitions), as YCSB's `ScrambledZipfianGenerator` does.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Default skew parameter (YCSB's `zipfian_const`).
+pub const DEFAULT_THETA: f64 = 0.99;
+
+/// A zipfian sampler over ranks `0..n`, immutable after construction so one
+/// instance can be shared by every client of a deployment.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl Zipfian {
+    /// Builds a sampler over `n` items with skew `theta`.
+    ///
+    /// Construction is `O(n)` (the zeta sum); share the instance rather
+    /// than building one per client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "empty keyspace");
+        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0,1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Samples a rank in `0..n`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Samples a *scrambled* item: the rank is hashed so hot items spread
+    /// uniformly over the keyspace.
+    pub fn sample_scrambled(&self, rng: &mut SmallRng) -> u64 {
+        fnv1a(self.sample(rng)) % self.n
+    }
+}
+
+/// FNV-1a over the 8 bytes of `x` — YCSB's rank scrambler.
+fn fnv1a(x: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipfian::new(100, DEFAULT_THETA);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+            assert!(z.sample_scrambled(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipfian::new(10_000, DEFAULT_THETA);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let draws = 100_000;
+        let hot = (0..draws)
+            .filter(|_| z.sample(&mut rng) < 100) // top 1% of ranks
+            .count();
+        // Under theta=0.99 the top 1% of ranks draws roughly half the mass;
+        // uniform would draw 1%.
+        assert!(
+            hot as f64 / draws as f64 > 0.3,
+            "zipfian skew missing: top-1% share = {}",
+            hot as f64 / draws as f64
+        );
+    }
+
+    #[test]
+    fn scrambling_spreads_hot_keys() {
+        let z = Zipfian::new(10_000, DEFAULT_THETA);
+        let mut rng = SmallRng::seed_from_u64(3);
+        // The most common scrambled keys should not be clustered at low ids.
+        let mut counts = vec![0u32; 10_000];
+        for _ in 0..100_000 {
+            counts[z.sample_scrambled(&mut rng) as usize] += 1;
+        }
+        let top = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(top > 100, "hottest scrambled key {top} is suspiciously low");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipfian::new(1000, DEFAULT_THETA);
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty keyspace")]
+    fn zero_items_rejected() {
+        let _ = Zipfian::new(0, DEFAULT_THETA);
+    }
+}

@@ -1,0 +1,60 @@
+//! The pluggable persistence layer: run a protocol with the write-ahead
+//! log attached, then rebuild every replica's datastore from its log alone
+//! — the paper's "she can easily implement an interface and attach any
+//! other data store" (§7), plus the §5.3 requirement that 2PC state
+//! changes be logged for crash recovery.
+//!
+//! ```text
+//! cargo run --release -p gdur-examples --bin durable_store
+//! ```
+
+use gdur_core::{Cluster, ClusterConfig};
+use gdur_net::SiteId;
+use gdur_persist::recover;
+use gdur_store::Key;
+use gdur_workload::{WorkloadSpec, YcsbSource};
+
+fn main() {
+    let mut cfg = ClusterConfig::small(gdur_protocols::walter(), 3);
+    cfg.persistence = true;
+    cfg.keys_per_partition = 200;
+    cfg.clients_per_site = 2;
+    cfg.max_txns_per_client = Some(50);
+    let total = cfg.keys_per_partition * 3;
+    let mut cluster = Cluster::build(cfg, move |_, site| {
+        Box::new(YcsbSource::new(WorkloadSpec::a(), total, 3, site.0 as u64 % 3, 0.5))
+    });
+    cluster.run_until_idle();
+
+    let committed = cluster.records().iter().filter(|r| r.committed).count();
+    println!("ran {committed} committed transactions under Walter with the WAL attached\n");
+
+    for s in 0..3u16 {
+        let replica = cluster.replica(SiteId(s));
+        let wal = replica.wal().expect("persistence attached");
+        let (recovered, decisions) = recover(wal);
+
+        // Compare the recovered image against the live store.
+        let mut matched = 0u64;
+        let mut diverged = 0u64;
+        for key in (0..total).map(Key) {
+            let Some(live) = replica.store().latest(key) else { continue };
+            if live.seq == 0 {
+                continue; // never updated: seed versions are not logged
+            }
+            match recovered.latest(key) {
+                Some(rec) if rec.seq == live.seq && rec.value == live.value => matched += 1,
+                _ => diverged += 1,
+            }
+        }
+        println!(
+            "site{s}: log = {:>6} records / {:>8} bytes, decisions = {:>4}, \
+             recovered {matched} updated keys, {diverged} diverged",
+            wal.len(),
+            wal.byte_len(),
+            decisions.len(),
+        );
+        assert_eq!(diverged, 0, "recovery must reproduce the live store");
+    }
+    println!("\nevery replica's store is reproducible from its write-ahead log");
+}

@@ -1,0 +1,41 @@
+//! Mini protocol comparison: a reduced-scale rendition of the paper's
+//! Figure 3-a — termination latency of update transactions versus
+//! throughput for the whole protocol library, under Workload A on 4
+//! disaster-prone sites with 90% read-only transactions.
+//!
+//! ```text
+//! cargo run --release -p gdur-examples --bin protocol_comparison
+//! ```
+
+use gdur_harness::{run_sweep, Experiment, PlacementKind, Scale, WorkloadKind};
+
+fn main() {
+    let mut scale = Scale::quick();
+    scale.keys_per_partition = 10_000;
+    scale.client_sweep = vec![8, 64, 256];
+
+    println!("Workload A, 4 sites, DP, 90% read-only (reduced scale)\n");
+    println!(
+        "{:<10} {:>8} {:>12} {:>22} {:>8}",
+        "protocol", "clients", "tps", "upd term latency (ms)", "aborts"
+    );
+    for spec in gdur_protocols::comparison_set() {
+        let exp = Experiment::new(spec, WorkloadKind::A, 0.9, 4, PlacementKind::Dp);
+        let points = run_sweep(&exp, &scale);
+        for p in &points {
+            println!(
+                "{:<10} {:>8} {:>12.0} {:>22.1} {:>7.1}%",
+                exp.label,
+                p.clients_total,
+                p.throughput_tps,
+                p.term_latency_update_ms,
+                p.abort_ratio * 100.0
+            );
+        }
+    }
+    println!(
+        "\nexpected shape: Jessy2pc fastest, Walter close behind, GMU slightly \
+         slower,\nS-DUR and Serrano mid-pack, P-Store slowest (its queries are \
+         not wait-free), RC is the ceiling."
+    );
+}

@@ -1,0 +1,1 @@
+//! Example applications; see src/bin/*.

@@ -1,0 +1,70 @@
+//! The persistence layer, end to end: replicas run with the write-ahead
+//! log attached, and replaying each replica's log reproduces its store.
+
+use gdur_core::{Cluster, ClusterConfig};
+use gdur_net::SiteId;
+use gdur_persist::recover;
+use gdur_store::Key;
+use gdur_workload::{WorkloadSpec, YcsbSource};
+
+#[test]
+fn wal_replay_reproduces_every_replica_store() {
+    let mut cfg = ClusterConfig::small(gdur_protocols::jessy_2pc(), 3);
+    cfg.persistence = true;
+    cfg.keys_per_partition = 100;
+    cfg.clients_per_site = 2;
+    cfg.max_txns_per_client = Some(40);
+    let total = cfg.keys_per_partition * 3;
+    let mut cluster = Cluster::build(cfg, move |_, site| {
+        Box::new(YcsbSource::new(WorkloadSpec::a(), total, 3, site.0 as u64 % 3, 0.3))
+    });
+    cluster.run_until_idle();
+
+    let mut checked_keys = 0;
+    for s in 0..3u16 {
+        let replica = cluster.replica(SiteId(s));
+        let wal = replica.wal().expect("persistence attached");
+        assert!(!wal.is_empty(), "site{s} logged nothing");
+        let (recovered, decisions) = recover(wal);
+        assert!(!decisions.is_empty(), "site{s} logged no decisions");
+        // Every key that advanced beyond its seed must recover to the same
+        // latest version.
+        for key in (0..total).map(Key) {
+            let Some(live_seq) = replica.store().latest_seq(key) else { continue };
+            if live_seq == 0 {
+                continue; // seed-only keys are not logged
+            }
+            let rec = recovered
+                .latest(key)
+                .unwrap_or_else(|| panic!("site{s}: {key} missing after recovery"));
+            assert_eq!(rec.seq, live_seq, "site{s}: {key} sequence diverged");
+            let live = replica.store().latest(key).expect("present");
+            assert_eq!(rec.value, live.value, "site{s}: {key} value diverged");
+            checked_keys += 1;
+        }
+    }
+    assert!(checked_keys > 10, "scenario exercised too few durable keys");
+}
+
+#[test]
+fn persistence_costs_cpu_but_preserves_results() {
+    let build = |persistence: bool| {
+        let mut cfg = ClusterConfig::small(gdur_protocols::walter(), 2);
+        cfg.persistence = persistence;
+        cfg.keys_per_partition = 200;
+        cfg.max_txns_per_client = Some(30);
+        let mut cluster = Cluster::build(cfg, move |_, site| {
+            Box::new(YcsbSource::new(WorkloadSpec::a(), 400, 2, site.0 as u64 % 2, 0.5))
+        });
+        cluster.run_until_idle();
+        cluster
+    };
+    let with = build(true);
+    let without = build(false);
+    // Same transactions decided either way; durability is off the commit
+    // decision path in our model (group commit would hide it), so outcomes
+    // match while the logs exist only on one side.
+    assert_eq!(with.records().len(), without.records().len());
+    assert!(with.replica(SiteId(0)).wal().is_some());
+    assert!(without.replica(SiteId(0)).wal().is_none());
+}

@@ -1,0 +1,77 @@
+//! End-to-end property tests: random small deployments of random
+//! protocols must terminate every transaction and uphold the protocol's
+//! criterion.
+
+use gdur_consistency::{Criterion, History};
+use gdur_core::{Cluster, ClusterConfig};
+use gdur_store::Placement;
+use gdur_workload::{WorkloadSpec, YcsbSource};
+use proptest::prelude::*;
+
+fn criterion_of(name: &str) -> Criterion {
+    match name {
+        "P-Store" | "S-DUR" | "P-Store-la" | "P-Store-2PC" | "P-Store-AB" | "P-Store-Paxos" => {
+            Criterion::Ser
+        }
+        "GMU" => Criterion::Us,
+        "Serrano" => Criterion::Si,
+        "Walter" => Criterion::Psi,
+        "Jessy2pc" => Criterion::Nmsi,
+        "ReadAtomic" => Criterion::Ra,
+        _ => Criterion::Rc,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_protocol_any_small_world_is_live_and_correct(
+        proto_idx in 0usize..13,
+        sites in 2usize..5,
+        dt in any::<bool>(),
+        keys_per_partition in 20u64..200,
+        ro_pct in 0u8..=10,
+        seed in 0u64..10_000,
+    ) {
+        let all = gdur_protocols::all_protocols();
+        let spec = all[proto_idx % all.len()].clone();
+        let name = spec.name;
+        let criterion = criterion_of(name);
+        let mut cfg = ClusterConfig::small(spec, sites);
+        if dt {
+            cfg.placement = Placement::disaster_tolerant(sites);
+        }
+        cfg.keys_per_partition = keys_per_partition;
+        cfg.clients_per_site = 2;
+        cfg.max_txns_per_client = Some(15);
+        cfg.record_history = true;
+        cfg.seed = seed;
+        let total = keys_per_partition * sites as u64;
+        let s = sites as u64;
+        let ro = f64::from(ro_pct) / 10.0;
+        let mut cluster = Cluster::build(cfg, move |_, site| {
+            Box::new(YcsbSource::new(
+                WorkloadSpec::a(),
+                total,
+                s,
+                site.0 as u64 % s,
+                ro,
+            ))
+        });
+        cluster.run_until_idle();
+        let records = cluster.records();
+        prop_assert_eq!(
+            records.len(),
+            sites * 2 * 15,
+            "{} (sites={}, dt={}, seed={}): some transactions never decided",
+            name, sites, dt, seed
+        );
+        let history = History::from_cluster(&cluster);
+        if let Err(v) = criterion.check(&history) {
+            return Err(TestCaseError::fail(format!(
+                "{name} violated {criterion:?} (sites={sites}, dt={dt}, seed={seed}): {v}"
+            )));
+        }
+    }
+}
