@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, lints (rustc + clippy + detlint), build, tests.
+# Everything runs offline — the vendored shims under vendor/ stand in for
+# the registry crates (see README "Offline build").
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q --release
+
+echo "==> detlint (static + dynamic determinism lint)"
+cargo run -q --release -p gdur-analysis --bin detlint -- --dynamic
+
+echo "==> ci: all checks passed"

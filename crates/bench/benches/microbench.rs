@@ -1,8 +1,14 @@
-//! Criterion micro-benchmarks over the substrates: versioning lattice
-//! operations, snapshot compatibility, store reads, zipfian sampling, and
+//! Micro-benchmarks over the substrates: versioning lattice operations,
+//! snapshot compatibility, store reads, zipfian sampling, and
 //! group-communication ordering engines.
+//!
+//! Self-contained timing harness (`harness = false`): each case runs a
+//! short warmup then a timed batch and prints ns/iter. Run with
+//! `cargo bench -p gdur-bench --bench microbench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -12,24 +18,51 @@ use gdur_store::{Key, MultiVersionStore, TxId, Value};
 use gdur_versioning::{Stamp, VersionVec};
 use gdur_workload::{Zipfian, DEFAULT_THETA};
 
-fn bench_versioning(c: &mut Criterion) {
-    let mut g = c.benchmark_group("versioning");
-    let a = VersionVec::from_entries((0..16).collect());
-    let b = VersionVec::from_entries((0..16).rev().collect());
-    g.bench_function("merge_dim16", |bch| {
-        bch.iter(|| black_box(a.clone()).joined(black_box(&b)))
-    });
-    g.bench_function("leq_dim16", |bch| bch.iter(|| black_box(&a).leq(black_box(&b))));
-    let x = Stamp::Vec { origin: 0, vec: a.clone() };
-    let y = Stamp::Vec { origin: 7, vec: b.clone() };
-    g.bench_function("compatibility_test", |bch| {
-        bch.iter(|| black_box(&x).compatible(black_box(&y)))
-    });
-    g.finish();
+/// Times `f` over enough iterations to fill a few milliseconds and prints
+/// mean ns/iter.
+fn bench(name: &str, mut f: impl FnMut()) {
+    for _ in 0..1_000 {
+        f();
+    }
+    let mut iters = 10_000u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 5 || iters >= 100_000_000 {
+            let per = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{name:<40} {per:>12.1} ns/iter ({iters} iters)");
+            return;
+        }
+        iters *= 10;
+    }
 }
 
-fn bench_store(c: &mut Criterion) {
-    let mut g = c.benchmark_group("store");
+fn bench_versioning() {
+    let a = VersionVec::from_entries((0..16).collect());
+    let b = VersionVec::from_entries((0..16).rev().collect());
+    bench("versioning/merge_dim16", || {
+        black_box(black_box(a.clone()).joined(black_box(&b)));
+    });
+    bench("versioning/leq_dim16", || {
+        black_box(black_box(&a).leq(black_box(&b)));
+    });
+    let x = Stamp::Vec {
+        origin: 0,
+        vec: a.clone(),
+    };
+    let y = Stamp::Vec {
+        origin: 7,
+        vec: b.clone(),
+    };
+    bench("versioning/compatibility_test", || {
+        black_box(black_box(&x).compatible(black_box(&y)));
+    });
+}
+
+fn bench_store() {
     let mut store = MultiVersionStore::new();
     for k in 0..1000u64 {
         store.seed(Key(k), Value::from_u64(k), Stamp::Ts(0));
@@ -39,55 +72,61 @@ fn bench_store(c: &mut Criterion) {
             store.install(Key(k), Value::from_u64(v), Stamp::Ts(v), TxId::new(0, v));
         }
     }
-    g.bench_function("latest", |bch| bch.iter(|| store.latest(black_box(Key(500)))));
+    bench("store/latest", || {
+        black_box(store.latest(black_box(Key(500))));
+    });
     let snap = VersionVec::from_entries(vec![3]);
     let mut vec_store = MultiVersionStore::new();
-    vec_store.seed(Key(1), Value::empty(), Stamp::Vec { origin: 0, vec: VersionVec::zero(1) });
+    vec_store.seed(
+        Key(1),
+        Value::empty(),
+        Stamp::Vec {
+            origin: 0,
+            vec: VersionVec::zero(1),
+        },
+    );
     for v in 1..6u64 {
         vec_store.install(
             Key(1),
             Value::empty(),
-            Stamp::Vec { origin: 0, vec: VersionVec::from_entries(vec![v]) },
+            Stamp::Vec {
+                origin: 0,
+                vec: VersionVec::from_entries(vec![v]),
+            },
             TxId::new(0, v),
         );
     }
-    g.bench_function("latest_visible", |bch| {
-        bch.iter(|| vec_store.latest_visible(black_box(Key(1)), black_box(&snap)))
+    bench("store/latest_visible", || {
+        black_box(vec_store.latest_visible(black_box(Key(1)), black_box(&snap)));
     });
-    g.finish();
 }
 
-fn bench_zipfian(c: &mut Criterion) {
+fn bench_zipfian() {
     let z = Zipfian::new(100_000, DEFAULT_THETA);
     let mut rng = SmallRng::seed_from_u64(5);
-    c.bench_function("zipfian_sample_scrambled", |bch| {
-        bch.iter(|| z.sample_scrambled(black_box(&mut rng)))
+    bench("workload/zipfian_sample_scrambled", || {
+        black_box(z.sample_scrambled(black_box(&mut rng)));
     });
 }
 
-fn drain<P>(out: &mut Vec<GcEvent<P>>) {
-    out.clear();
-}
-
-fn bench_gc_engines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("group_communication");
-    g.bench_function("abcast_order_and_ack", |bch| {
+fn bench_gc_engines() {
+    {
         let group: Vec<ProcessId> = (0..4).map(ProcessId).collect();
         let mut seq: AbCastEngine<u64> = AbCastEngine::new(ProcessId(0), group);
         let mut out = Vec::new();
         let mut n = 0u64;
-        bch.iter(|| {
+        bench("gc/abcast_order_and_ack", || {
             seq.broadcast(n, &mut out);
             n += 1;
-            drain(&mut out);
-        })
-    });
-    g.bench_function("skeen_multicast_round", |bch| {
+            out.clear();
+        });
+    }
+    {
         let mut sender: SkeenEngine<u64> = SkeenEngine::new(ProcessId(0));
         let mut dest: SkeenEngine<u64> = SkeenEngine::new(ProcessId(1));
         let mut out = Vec::new();
         let mut n = 0u64;
-        bch.iter(|| {
+        bench("gc/skeen_multicast_round", || {
             sender.multicast(vec![ProcessId(1)], n, &mut out);
             n += 1;
             // Route the full propose/proposal/final exchange.
@@ -98,7 +137,11 @@ fn bench_gc_engines(c: &mut Criterion) {
                 }
             }
             while let Some((to, msg)) = pending.pop() {
-                let engine = if to == ProcessId(0) { &mut sender } else { &mut dest };
+                let engine = if to == ProcessId(0) {
+                    &mut sender
+                } else {
+                    &mut dest
+                };
                 let mut o2 = Vec::new();
                 engine.on_message(ProcessId(99), msg, &mut o2);
                 for e in o2 {
@@ -107,10 +150,13 @@ fn bench_gc_engines(c: &mut Criterion) {
                     }
                 }
             }
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-criterion_group!(benches, bench_versioning, bench_store, bench_zipfian, bench_gc_engines);
-criterion_main!(benches);
+fn main() {
+    bench_versioning();
+    bench_store();
+    bench_zipfian();
+    bench_gc_engines();
+}

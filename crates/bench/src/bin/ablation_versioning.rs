@@ -7,12 +7,24 @@
 //! cargo run --release -p gdur-bench --bin ablation_versioning [--quick]
 //! ```
 
-use gdur_core::{ChooseRule, ProtocolSpec};
+use gdur_core::{ChooseRule, Criterion, ProtocolSpec};
 use gdur_harness::{run_point, Experiment, PlacementKind, WorkloadKind};
 use gdur_versioning::Mechanism;
 
 fn variant(name: &'static str, versioning: Mechanism, choose: ChooseRule) -> ProtocolSpec {
-    ProtocolSpec { name, versioning, choose, ..gdur_protocols::jessy_2pc() }
+    // `choose_last` variants cannot assemble consistent snapshots, so they
+    // only claim (and are only checked against) read committed.
+    let criterion = match choose {
+        ChooseRule::Consistent => Criterion::Nmsi,
+        ChooseRule::Last => Criterion::Rc,
+    };
+    ProtocolSpec {
+        name,
+        criterion,
+        versioning,
+        choose,
+        ..gdur_protocols::jessy_2pc()
+    }
 }
 
 fn main() {

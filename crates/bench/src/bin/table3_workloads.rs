@@ -9,7 +9,11 @@ fn main() {
         "{:<9} {:<10} {:<22} {:<24}",
         "workload", "key dist.", "read-only transaction", "update transaction"
     );
-    for w in [WorkloadSpec::a(), WorkloadSpec::b(), WorkloadSpec::c(100_000)] {
+    for w in [
+        WorkloadSpec::a(),
+        WorkloadSpec::b(),
+        WorkloadSpec::c(100_000),
+    ] {
         let dist = match w.dist {
             KeyDist::Uniform => "uniform",
             KeyDist::Zipfian(_) => "zipfian",

@@ -138,14 +138,26 @@ impl Client {
             submitted_at: ctx.now(),
             read_only,
         });
-        ctx.send(self.coordinator, Msg::Client { tx, op: ClientOp::Begin });
+        ctx.send(
+            self.coordinator,
+            Msg::Client {
+                tx,
+                op: ClientOp::Begin,
+            },
+        );
     }
 
     fn send_next_op(&mut self, ctx: &mut Context<'_, Msg>) {
         let r = self.current.as_mut().expect("a transaction is running");
         if r.next_op == r.plan.ops.len() {
             r.submitted_at = ctx.now();
-            ctx.send(self.coordinator, Msg::Client { tx: r.tx, op: ClientOp::Commit });
+            ctx.send(
+                self.coordinator,
+                Msg::Client {
+                    tx: r.tx,
+                    op: ClientOp::Commit,
+                },
+            );
             return;
         }
         let op = r.plan.ops[r.next_op].clone();
@@ -157,7 +169,13 @@ impl Client {
                 value: self.value_proto.clone(),
             },
         };
-        ctx.send(self.coordinator, Msg::Client { tx: r.tx, op: wire_op });
+        ctx.send(
+            self.coordinator,
+            Msg::Client {
+                tx: r.tx,
+                op: wire_op,
+            },
+        );
     }
 }
 

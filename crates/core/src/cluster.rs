@@ -80,6 +80,10 @@ impl Cluster {
     ) -> Cluster {
         let sites = cfg.placement.sites();
         assert!(sites >= 1, "need at least one site");
+        // Fail fast on a misassembled protocol: every deployment, whether
+        // built by the harness, a test, or an example, passes the static
+        // spec linter before a single message is simulated.
+        cfg.spec.validate_strict(&cfg.placement);
         let mut topo = Topology::grid5000(sites);
         // Replicas first (pids 0..sites), then clients.
         for s in 0..sites {
@@ -137,12 +141,12 @@ impl Cluster {
 
         let mut client_pids = Vec::new();
         let mut client_idx = 0usize;
-        for s in 0..sites {
+        for (s, &coordinator) in replica_pids.iter().enumerate() {
             let site = SiteId(s as u16);
             for _ in 0..cfg.clients_per_site {
                 let source = make_source(client_idx, site);
                 let mut client = Client::new(
-                    replica_pids[s],
+                    coordinator,
                     source,
                     cfg.value_size,
                     cfg.seed ^ (0x9e37_79b9 + client_idx as u64),
@@ -211,7 +215,8 @@ impl Cluster {
 
     /// The replica at `site`.
     pub fn replica(&self, site: SiteId) -> &Replica {
-        self.sim.actor(self.replica_pids[site.index()])
+        self.sim
+            .actor(self.replica_pids[site.index()])
             .as_replica()
             .expect("replica pid")
     }

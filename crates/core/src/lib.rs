@@ -22,6 +22,7 @@
 
 mod client;
 mod cluster;
+mod lint;
 mod messages;
 mod node;
 mod replica;
@@ -30,11 +31,12 @@ mod txn;
 
 pub use client::{Client, TxnRecord};
 pub use cluster::{Cluster, ClusterConfig};
+pub use lint::{Diagnostic, Severity};
 pub use messages::{ClientOp, ClientReply, Msg, TermPayload};
 pub use node::Node;
 pub use replica::{InstallEvent, Replica, ReplicaConfig, ReplicaStats, TxnOutcomeRecord};
 pub use spec::{
-    CertifyRule, CertifyingObjRule, ChooseRule, CommitmentKind, CommuteRule, CostModel,
+    CertifyRule, CertifyingObjRule, ChooseRule, CommitmentKind, CommuteRule, CostModel, Criterion,
     PostCommitRule, ProtocolSpec, VoteRule,
 };
 pub use txn::{PlanOp, ReadEntry, ScriptSource, Snapshot, TxSource, TxnPlan, WriteEntry};

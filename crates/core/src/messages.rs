@@ -136,6 +136,12 @@ pub enum Msg {
         tx: TxId,
         /// True = certification succeeded at the voter.
         yes: bool,
+        /// Commit-clock slots reserved by the voter for its locally hosted
+        /// written partitions (vector mechanisms under voting commitment):
+        /// the coordinator merges every voter's reservations into one
+        /// complete commit vector, so all installs of the transaction are
+        /// admitted or rejected atomically by any snapshot.
+        clocks: Vec<(u32, u64)>,
     },
     /// A decision announcement (coordinator → participants).
     Decide {
@@ -147,6 +153,9 @@ pub enum Msg {
         /// `ws` outside the certifying set never occur in our rules, so
         /// this stays `None`; kept for protocol extensions).
         payload: Option<TermPayload>,
+        /// The merged vote-clock reservations of every participant — the
+        /// commit-vector entries all installs of this transaction carry.
+        clocks: Vec<(u32, u64)>,
     },
     /// Paxos Commit: coordinator asks acceptors to persist the decision.
     PaxosAccept {
@@ -190,13 +199,15 @@ impl WireSize for Msg {
                 }
             }
             Msg::ReadReq { snap, .. } => HDR + 16 + snap.wire_size(),
-            Msg::ReadRep { value, stamp, snap, .. } => {
-                HDR + 24 + value.len() + stamp.wire_size() + snap.wire_size()
-            }
+            Msg::ReadRep {
+                value, stamp, snap, ..
+            } => HDR + 24 + value.len() + stamp.wire_size() + snap.wire_size(),
             Msg::Gc(m) => HDR + m.wire_size(),
-            Msg::Vote { .. } => HDR + 16,
-            Msg::Decide { payload, .. } => {
-                HDR + 16 + payload.as_ref().map(|p| p.wire_size()).unwrap_or(0)
+            Msg::Vote { clocks, .. } => HDR + 16 + 12 * clocks.len(),
+            Msg::Decide {
+                payload, clocks, ..
+            } => {
+                HDR + 16 + 12 * clocks.len() + payload.as_ref().map(|p| p.wire_size()).unwrap_or(0)
             }
             Msg::PaxosAccept { .. } | Msg::PaxosAccepted { .. } => HDR + 16,
             Msg::Propagate { .. } => HDR + 16,
@@ -222,7 +233,10 @@ mod tests {
             tx: TxId::new(0, 1),
             coord: ProcessId(0),
             read_only: false,
-            rs: Arc::new(vec![ReadEntry { key: Key(1), seq: 0 }]),
+            rs: Arc::new(vec![ReadEntry {
+                key: Key(1),
+                seq: 0,
+            }]),
             ws: Arc::new(vec![WriteEntry {
                 key: Key(2),
                 value: Value::of_size(1024),

@@ -9,6 +9,9 @@ use crate::replica::Replica;
 
 /// One process of the deployment: either a G-DUR replica or a load-driving
 /// client.
+// A deployment holds one Node per process (a handful), so the replica
+// variant's size is irrelevant and boxing would only cost indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Node {
     /// A middleware instance.

@@ -8,7 +8,7 @@
 //! contains no protocol-specific code paths beyond dispatching on those
 //! plug-in values, which is the paper's architectural claim.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use gdur_gc::{GcEvent, GroupComm, XcastKind};
 use gdur_net::SiteId;
@@ -135,6 +135,12 @@ struct PartTxn {
     /// The vote this replica cast, for idempotent re-sends on retried
     /// termination (crash-recovery retransmission).
     my_vote: Option<bool>,
+    /// Commit-clock slots this replica reserved at vote time for its
+    /// locally hosted written partitions; resolved at termination.
+    reserved: Vec<(u32, u64)>,
+    /// The merged vote clocks of every participant, learned from the
+    /// decision (2PC/Paxos) or from the votes themselves (GC mode).
+    decided_clocks: Vec<(u32, u64)>,
     outcome: Option<bool>,
     applied: bool,
     /// Number of conflicting predecessors still in `Q` (GC mode vote
@@ -148,6 +154,19 @@ struct PartTxn {
 struct VoteState {
     yes_sites: BTreeSet<SiteId>,
     any_no: bool,
+    /// Per-partition commit-clock reservations carried by yes votes,
+    /// merged by maximum.
+    clocks: Vec<(u32, u64)>,
+}
+
+/// A read parked until the local visibility frontier catches up with the
+/// snapshot that requested it.
+#[derive(Debug)]
+enum DeferredRead {
+    /// A remote `ReadReq` (requester, transaction, key, snapshot).
+    Remote(ProcessId, TxId, Key, Snapshot),
+    /// A local read at the coordinator (transaction, key, update value).
+    Local(TxId, Key, Option<Value>),
 }
 
 /// The replica actor.
@@ -157,39 +176,52 @@ pub struct Replica {
     me: ProcessId,
     store: MultiVersionStore,
     /// Per-partition commit clocks; authoritative for local partitions,
-    /// advanced by `Propagate` messages for remote ones.
+    /// advanced by `Propagate` messages for remote ones. Under voting
+    /// commitment with vector mechanisms this is the *visibility frontier*:
+    /// it advances only over contiguously resolved reservations, so no
+    /// snapshot built from it can admit a commit whose install is still in
+    /// flight somewhere.
     knowledge: VersionVec,
+    /// Highest commit-clock slot handed out per local partition at vote
+    /// time; always ≥ the corresponding `knowledge` entry.
+    reserved: VersionVec,
+    /// Reservations resolved (installed or aborted) above the `knowledge`
+    /// frontier, waiting for the gap below them to close.
+    resolved_ahead: BTreeMap<usize, BTreeSet<u64>>,
     /// Serrano's replicated version table (per-key latest sequence for all
     /// objects), maintained only under `VoteRule::LocalDecide`.
-    meta: HashMap<Key, u64>,
+    meta: BTreeMap<Key, u64>,
     gc: GroupComm<TermPayload>,
-    coord: HashMap<TxId, CoordTxn>,
-    part: HashMap<TxId, PartTxn>,
-    votes: HashMap<TxId, VoteState>,
+    coord: BTreeMap<TxId, CoordTxn>,
+    part: BTreeMap<TxId, PartTxn>,
+    votes: BTreeMap<TxId, VoteState>,
     /// Delivery queue `Q` of Algorithm 2.
     q: VecDeque<TxId>,
     /// Conflict index over queued transactions: key → (tx, read, wrote).
     /// Makes commute checks O(footprint) instead of O(|Q|).
-    key_index: HashMap<Key, Vec<(TxId, bool, bool)>>,
+    key_index: BTreeMap<Key, Vec<(TxId, bool, bool)>>,
     /// Reverse wait edges: when the keyed transaction leaves `Q`, each
     /// waiter's `blocked_by` drops by one.
-    waiters: HashMap<TxId, Vec<TxId>>,
+    waiters: BTreeMap<TxId, Vec<TxId>>,
     /// Decisions that raced ahead of the ordered delivery of their
     /// transaction (a coordinator can abort on the first negative vote
     /// before slower replicas deliver the payload).
-    early_decide: HashMap<TxId, bool>,
+    early_decide: BTreeMap<TxId, (bool, Vec<(u32, u64)>)>,
+    /// Reads deferred until the local frontier reaches the snapshot's
+    /// wait bound: timer tag → the read to re-serve.
+    deferred_reads: BTreeMap<u64, DeferredRead>,
     /// Participations already terminated here; late votes and duplicate
     /// decisions for them are dropped.
-    done: std::collections::HashSet<TxId>,
+    done: std::collections::BTreeSet<TxId>,
     /// Outstanding remote-read timers: timer tag → transaction.
-    read_timers: HashMap<u64, TxId>,
+    read_timers: BTreeMap<u64, TxId>,
     /// Termination-retry timers (2PC/Paxos crash-recovery retransmission).
-    term_timers: HashMap<u64, TxId>,
+    term_timers: BTreeMap<u64, TxId>,
     next_timer_tag: u64,
     /// Sites suspected crashed (eventually-perfect failure detector
     /// heuristic: suspect after a read timeout, trust again on any
     /// message). Suspected sites are skipped when picking read targets.
-    suspected: std::collections::HashSet<SiteId>,
+    suspected: std::collections::BTreeSet<SiteId>,
     stats: ReplicaStats,
     installs: Vec<InstallEvent>,
     outcomes: Vec<TxnOutcomeRecord>,
@@ -218,20 +250,23 @@ impl Replica {
         let gc = GroupComm::new(me, cfg.replica_pids.clone());
         Replica {
             knowledge: VersionVec::zero(dim.max(partitions)),
-            meta: HashMap::new(),
+            reserved: VersionVec::zero(dim.max(partitions)),
+            resolved_ahead: BTreeMap::new(),
+            deferred_reads: BTreeMap::new(),
+            meta: BTreeMap::new(),
             gc,
-            coord: HashMap::new(),
-            part: HashMap::new(),
-            votes: HashMap::new(),
+            coord: BTreeMap::new(),
+            part: BTreeMap::new(),
+            votes: BTreeMap::new(),
             q: VecDeque::new(),
-            key_index: HashMap::new(),
-            waiters: HashMap::new(),
-            early_decide: HashMap::new(),
-            done: std::collections::HashSet::new(),
-            read_timers: HashMap::new(),
-            term_timers: HashMap::new(),
+            key_index: BTreeMap::new(),
+            waiters: BTreeMap::new(),
+            early_decide: BTreeMap::new(),
+            done: std::collections::BTreeSet::new(),
+            read_timers: BTreeMap::new(),
+            term_timers: BTreeMap::new(),
             next_timer_tag: 0,
-            suspected: std::collections::HashSet::new(),
+            suspected: std::collections::BTreeSet::new(),
             stats: ReplicaStats::default(),
             installs: Vec::new(),
             outcomes: Vec::new(),
@@ -335,7 +370,10 @@ impl Replica {
         if dim == 0 {
             return Snapshot::unconstrained();
         }
-        match (self.cfg.spec.choose, self.cfg.spec.versioning.fixed_snapshot()) {
+        match (
+            self.cfg.spec.choose,
+            self.cfg.spec.versioning.fixed_snapshot(),
+        ) {
             // choose_last still ships mechanism-sized metadata (GMU*), but
             // the snapshot never constrains reads because it is never
             // pinned or observed.
@@ -373,7 +411,13 @@ impl Replica {
         out
     }
 
-    fn on_client_op(&mut self, ctx: &mut Context<'_, Msg>, from: ProcessId, tx: TxId, op: ClientOp) {
+    fn on_client_op(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: ProcessId,
+        tx: TxId,
+        op: ClientOp,
+    ) {
         let costs = self.cfg.costs;
         ctx.consume(costs.per_message);
         match op {
@@ -396,7 +440,13 @@ impl Replica {
                         decided: None,
                     },
                 );
-                ctx.send(from, Msg::Reply { tx, reply: ClientReply::Began });
+                ctx.send(
+                    from,
+                    Msg::Reply {
+                        tx,
+                        reply: ClientReply::Began,
+                    },
+                );
             }
             ClientOp::Read { key } => self.start_read(ctx, tx, key, None),
             ClientOp::Update { key, value } => self.start_read(ctx, tx, key, Some(value)),
@@ -405,7 +455,13 @@ impl Replica {
     }
 
     /// Starts a read (or the read half of a read-modify-write).
-    fn start_read(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, key: Key, update: Option<Value>) {
+    fn start_read(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        tx: TxId,
+        key: Key,
+        update: Option<Value>,
+    ) {
         let Some(t) = self.coord.get(&tx) else {
             return; // transaction already aborted/untracked
         };
@@ -419,12 +475,27 @@ impl Replica {
                     entry.value = v;
                     ClientReply::UpdateDone { key }
                 }
-                None => ClientReply::ReadDone { key, value: entry.value.clone() },
+                None => ClientReply::ReadDone {
+                    key,
+                    value: entry.value.clone(),
+                },
             };
             ctx.send(client, Msg::Reply { tx, reply });
             return;
         }
         if self.is_local(key) {
+            // Under vote-time commit clocks the local frontier may lag a
+            // snapshot the transaction already holds (the sibling install of
+            // an admitted write is still in flight): defer until it lands.
+            let p = self.cfg.placement.partition_of(key).index();
+            if self.vote_clocked() && t.snapshot.wait_bound(p) > self.knowledge.get(p) {
+                let tag = self.next_timer_tag;
+                self.next_timer_tag += 1;
+                self.deferred_reads
+                    .insert(tag, DeferredRead::Local(tx, key, update));
+                ctx.set_timer(SimDuration::from_micros(500), tag);
+                return;
+            }
             let mut snap = std::mem::replace(
                 &mut self.coord.get_mut(&tx).expect("present").snapshot,
                 Snapshot::unconstrained(),
@@ -437,7 +508,11 @@ impl Replica {
             let client = t.client;
             let reply = match update {
                 Some(v) => {
-                    t.ws.push(WriteEntry { key, value: v, base_seq: seq });
+                    t.ws.push(WriteEntry {
+                        key,
+                        value: v,
+                        base_seq: seq,
+                    });
                     ClientReply::UpdateDone { key }
                 }
                 None => ClientReply::ReadDone { key, value },
@@ -498,6 +573,15 @@ impl Replica {
     /// Read-failover timer: if the read is still pending, suspect the
     /// unresponsive replica and re-iterate the request to another one.
     pub fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
+        if let Some(d) = self.deferred_reads.remove(&tag) {
+            match d {
+                DeferredRead::Remote(from, tx, key, snap) => {
+                    self.serve_remote_read(ctx, from, tx, key, snap);
+                }
+                DeferredRead::Local(tx, key, update) => self.start_read(ctx, tx, key, update),
+            }
+            return;
+        }
         if let Some(tx) = self.term_timers.remove(&tag) {
             let undecided = self
                 .coord
@@ -524,9 +608,15 @@ impl Replica {
             }
             return;
         }
-        let Some(tx) = self.read_timers.remove(&tag) else { return };
-        let Some(t) = self.coord.get_mut(&tx) else { return };
-        let Some((key, _, attempt)) = t.pending_read.as_mut() else { return };
+        let Some(tx) = self.read_timers.remove(&tag) else {
+            return;
+        };
+        let Some(t) = self.coord.get_mut(&tx) else {
+            return;
+        };
+        let Some((key, _, attempt)) = t.pending_read.as_mut() else {
+            return;
+        };
         let (key, prev_attempt) = (*key, *attempt);
         *attempt += 1;
         let attempt = prev_attempt + 1;
@@ -546,7 +636,14 @@ impl Replica {
             .map(|i| SiteId(i as u16))
     }
 
-    fn on_read_req(&mut self, ctx: &mut Context<'_, Msg>, from: ProcessId, tx: TxId, key: Key, mut snap: Snapshot) {
+    fn on_read_req(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: ProcessId,
+        tx: TxId,
+        key: Key,
+        snap: Snapshot,
+    ) {
         ctx.consume(self.cfg.costs.per_message + self.cfg.costs.per_read);
         ctx.consume(
             self.cfg
@@ -555,10 +652,42 @@ impl Replica {
                 .saturating_mul(snap.meta_entries() as u64),
         );
         self.stats.remote_reads_served += 1;
+        self.serve_remote_read(ctx, from, tx, key, snap);
+    }
+
+    /// Serves (or defers) a remote read. Under vote-time commit clocks a
+    /// replica whose visibility frontier lags the snapshot's wait bound may
+    /// still be missing installs the snapshot already admits — serving now
+    /// would fracture atomic visibility, so the read polls until the
+    /// frontier catches up.
+    fn serve_remote_read(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: ProcessId,
+        tx: TxId,
+        key: Key,
+        mut snap: Snapshot,
+    ) {
+        let p = self.cfg.placement.partition_of(key).index();
+        if self.vote_clocked() && snap.wait_bound(p) > self.knowledge.get(p) {
+            let tag = self.next_timer_tag;
+            self.next_timer_tag += 1;
+            self.deferred_reads
+                .insert(tag, DeferredRead::Remote(from, tx, key, snap));
+            ctx.set_timer(SimDuration::from_micros(500), tag);
+            return;
+        }
         let (value, seq, stamp) = self.choose_version(key, &mut snap);
         ctx.send(
             from,
-            Msg::ReadRep { tx, key, value, seq, stamp, snap },
+            Msg::ReadRep {
+                tx,
+                key,
+                value,
+                seq,
+                stamp,
+                snap,
+            },
         );
     }
 
@@ -592,7 +721,11 @@ impl Replica {
         let client = t.client;
         let reply = match update {
             Some(v) => {
-                t.ws.push(WriteEntry { key, value: v, base_seq: seq });
+                t.ws.push(WriteEntry {
+                    key,
+                    value: v,
+                    base_seq: seq,
+                });
                 ClientReply::UpdateDone { key }
             }
             None => ClientReply::ReadDone { key, value },
@@ -700,7 +833,10 @@ impl Replica {
             CommitmentKind::GroupCommunication { xcast } => xcast,
             CommitmentKind::TwoPhaseCommit | CommitmentKind::PaxosCommit => XcastKind::Multicast,
         };
-        if !matches!(self.cfg.spec.commitment, CommitmentKind::GroupCommunication { .. }) {
+        if !matches!(
+            self.cfg.spec.commitment,
+            CommitmentKind::GroupCommunication { .. }
+        ) {
             // Crash-recovery retransmission: retry termination until every
             // vote arrives (Algorithm 4 in the crash-recovery model waits
             // for crashed participants to come back online).
@@ -750,7 +886,10 @@ impl Replica {
         if let Some(p) = self.part.get(&tx) {
             if let Some(yes) = p.my_vote {
                 if payload.coord != self.me {
-                    ctx.send(payload.coord, Msg::Vote { tx, yes });
+                    // Re-send the identical vote, reservations included —
+                    // voting is idempotent.
+                    let clocks = p.reserved.clone();
+                    ctx.send(payload.coord, Msg::Vote { tx, yes, clocks });
                 }
             }
             return;
@@ -772,6 +911,8 @@ impl Replica {
                 payload: payload.clone(),
                 voted: false,
                 my_vote: None,
+                reserved: Vec::new(),
+                decided_clocks: Vec::new(),
                 outcome: None,
                 applied: false,
                 blocked_by: if gc_mode { blockers.len() } else { 0 },
@@ -783,9 +924,9 @@ impl Replica {
         if !local_decide {
             self.index_insert(&payload);
         }
-        if let Some(commit) = self.early_decide.remove(&tx) {
+        if let Some((commit, clocks)) = self.early_decide.remove(&tx) {
             // The coordinator decided before our ordered delivery arrived.
-            self.on_decide(ctx, tx, commit);
+            self.on_decide(ctx, tx, commit, clocks);
             return;
         }
         match self.cfg.spec.commitment {
@@ -814,7 +955,8 @@ impl Replica {
 
     /// Per-key access flags of a payload: (key, read, wrote).
     fn accesses(payload: &TermPayload) -> Vec<(Key, bool, bool)> {
-        let mut out: Vec<(Key, bool, bool)> = Vec::with_capacity(payload.rs.len() + payload.ws.len());
+        let mut out: Vec<(Key, bool, bool)> =
+            Vec::with_capacity(payload.rs.len() + payload.ws.len());
         for r in payload.rs.iter() {
             out.push((r.key, true, false));
         }
@@ -875,9 +1017,13 @@ impl Replica {
                 }
             }
         }
-        let Some(ws) = self.waiters.remove(&tx) else { return };
+        let Some(ws) = self.waiters.remove(&tx) else {
+            return;
+        };
         for w in ws {
-            let Some(p) = self.part.get_mut(&w) else { continue };
+            let Some(p) = self.part.get_mut(&w) else {
+                continue;
+            };
             p.blocked_by = p.blocked_by.saturating_sub(1);
             if p.blocked_by == 0 && !p.voted && p.outcome.is_none() {
                 self.cast_gc_vote(ctx, w);
@@ -891,8 +1037,7 @@ impl Replica {
         match self.cfg.spec.certify {
             CertifyRule::AlwaysPass => true,
             CertifyRule::ReadSetCurrent => payload.rs.iter().all(|e| {
-                !self.is_local(e.key)
-                    || self.store.latest_seq(e.key).unwrap_or(0) <= e.seq
+                !self.is_local(e.key) || self.store.latest_seq(e.key).unwrap_or(0) <= e.seq
             }),
             CertifyRule::WriteSetCurrent => {
                 if self.cfg.spec.votes == VoteRule::LocalDecide {
@@ -931,13 +1076,19 @@ impl Replica {
         let payload = p.payload.clone();
         ctx.consume(self.certify_cost(&payload));
         let yes = self.certify(&payload);
+        let clocks = if yes {
+            self.reserve_clocks(&payload)
+        } else {
+            Vec::new()
+        };
         {
             let p = self.part.get_mut(&tx).expect("present");
             p.voted = true;
             p.my_vote = Some(yes);
+            p.reserved = clocks.clone();
         }
         self.stats.votes_cast += 1;
-        self.send_vote(ctx, &payload, yes);
+        self.send_vote(ctx, &payload, yes, clocks);
     }
 
     /// Algorithm 4, action `vote`: certify immediately, but vote *no* if a
@@ -951,17 +1102,23 @@ impl Replica {
             ctx.consume(self.certify_cost(&payload));
             self.certify(&payload)
         };
+        let clocks = if yes {
+            self.reserve_clocks(&payload)
+        } else {
+            Vec::new()
+        };
         {
             let p = self.part.get_mut(&tx).expect("present");
             p.voted = true;
             p.my_vote = Some(yes);
+            p.reserved = clocks.clone();
         }
         self.stats.votes_cast += 1;
         // 2PC votes go to the coordinator only.
         if payload.coord == self.me {
-            self.record_vote(ctx, tx, self.cfg.site, yes);
+            self.record_vote(ctx, tx, self.cfg.site, yes, clocks);
         } else {
-            ctx.send(payload.coord, Msg::Vote { tx, yes });
+            ctx.send(payload.coord, Msg::Vote { tx, yes, clocks });
         }
     }
 
@@ -971,11 +1128,19 @@ impl Replica {
     /// be larger in certain cases", Figure 2-a): every participant receives
     /// every vote and decides locally, which also lets participants
     /// terminate transactions whose coordinator crashed.
-    fn send_vote(&mut self, ctx: &mut Context<'_, Msg>, payload: &TermPayload, yes: bool) {
+    fn send_vote(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        payload: &TermPayload,
+        yes: bool,
+        clocks: Vec<(u32, u64)>,
+    ) {
         let tx = payload.tx;
         let broadcast_delivery = matches!(
             self.cfg.spec.commitment,
-            CommitmentKind::GroupCommunication { xcast: XcastKind::AbCast }
+            CommitmentKind::GroupCommunication {
+                xcast: XcastKind::AbCast
+            }
         );
         let mut targets: BTreeSet<ProcessId> = if broadcast_delivery {
             // AB-Cast delivers to every replica; all of them sit in Q and
@@ -997,9 +1162,16 @@ impl Replica {
         targets.insert(payload.coord);
         for t in targets {
             if t == self.me {
-                self.record_vote(ctx, tx, self.cfg.site, yes);
+                self.record_vote(ctx, tx, self.cfg.site, yes, clocks.clone());
             } else {
-                ctx.send(t, Msg::Vote { tx, yes });
+                ctx.send(
+                    t,
+                    Msg::Vote {
+                        tx,
+                        yes,
+                        clocks: clocks.clone(),
+                    },
+                );
             }
         }
     }
@@ -1030,7 +1202,14 @@ impl Replica {
 
     /// Accumulates a vote; both coordinator-side and participant-side
     /// decisions key off this shared state.
-    fn record_vote(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, site: SiteId, yes: bool) {
+    fn record_vote(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        tx: TxId,
+        site: SiteId,
+        yes: bool,
+        clocks: Vec<(u32, u64)>,
+    ) {
         if self.done.contains(&tx) && !self.coord.contains_key(&tx) {
             return;
         }
@@ -1038,6 +1217,12 @@ impl Replica {
             let v = self.votes.entry(tx).or_default();
             if yes {
                 v.yes_sites.insert(site);
+                for (p, s) in clocks {
+                    match v.clocks.iter_mut().find(|(q, _)| *q == p) {
+                        Some(e) => e.1 = e.1.max(s),
+                        None => v.clocks.push((p, s)),
+                    }
+                }
             } else {
                 v.any_no = true;
             }
@@ -1058,27 +1243,23 @@ impl Replica {
         } else {
             let covered = match self.cfg.spec.commitment {
                 // GC voting quorum: one affirmative replica per object.
-                CommitmentKind::GroupCommunication { .. } => t
-                    .certifying
-                    .iter()
-                    .all(|k| {
-                        self.cfg
-                            .placement
-                            .replicas_of_key(*k)
-                            .iter()
-                            .any(|s| v.yes_sites.contains(s))
-                    }),
+                CommitmentKind::GroupCommunication { .. } => t.certifying.iter().all(|k| {
+                    self.cfg
+                        .placement
+                        .replicas_of_key(*k)
+                        .iter()
+                        .any(|s| v.yes_sites.contains(s))
+                }),
                 // 2PC/Paxos: every replica of every object must vote yes.
-                CommitmentKind::TwoPhaseCommit | CommitmentKind::PaxosCommit => t
-                    .certifying
-                    .iter()
-                    .all(|k| {
+                CommitmentKind::TwoPhaseCommit | CommitmentKind::PaxosCommit => {
+                    t.certifying.iter().all(|k| {
                         self.cfg
                             .placement
                             .replicas_of_key(*k)
                             .iter()
                             .all(|s| v.yes_sites.contains(s))
-                    }),
+                    })
+                }
             };
             covered.then_some(true)
         };
@@ -1111,7 +1292,9 @@ impl Replica {
     fn check_paxos_majority(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId) {
         let n = self.cfg.placement.sites();
         let Some(t) = self.coord.get(&tx) else { return };
-        let Some(commit) = t.paxos_decision else { return };
+        let Some(commit) = t.paxos_decision else {
+            return;
+        };
         if t.decided.is_none() && t.paxos_acks > n / 2 {
             self.decide_and_announce(ctx, tx, commit);
         }
@@ -1122,6 +1305,13 @@ impl Replica {
     fn decide_and_announce(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, commit: bool) {
         let t = self.coord.get(&tx).expect("deciding an unknown txn");
         let certifying = t.certifying.clone();
+        // The merged vote-clock reservations: complete commit-vector
+        // entries for every written partition, shipped with the decision.
+        let clocks = self
+            .votes
+            .get(&tx)
+            .map(|v| v.clocks.clone())
+            .unwrap_or_default();
         let announce_sites: BTreeSet<SiteId> = match self.cfg.spec.commitment {
             // Every GC participant receives every vote and decides locally
             // (Figure 2-a); no explicit decision fan-out is needed.
@@ -1133,17 +1323,27 @@ impl Replica {
         for s in announce_sites {
             let pid = self.pid_of_site(s);
             if pid != self.me {
-                ctx.send(pid, Msg::Decide { tx, commit, payload: None });
+                ctx.send(
+                    pid,
+                    Msg::Decide {
+                        tx,
+                        commit,
+                        payload: None,
+                        clocks: clocks.clone(),
+                    },
+                );
             }
         }
         // Apply the local participant's copy, if any.
-        self.on_decide(ctx, tx, commit);
+        self.on_decide(ctx, tx, commit, clocks);
         self.finish_coord(ctx, tx, commit);
     }
 
     /// Final coordinator bookkeeping: reply to the client, record history.
     fn finish_coord(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, commit: bool) {
-        let Some(t) = self.coord.get_mut(&tx) else { return };
+        let Some(t) = self.coord.get_mut(&tx) else {
+            return;
+        };
         if t.decided.is_some() {
             return;
         }
@@ -1156,7 +1356,10 @@ impl Replica {
         }
         ctx.send(
             t.client,
-            Msg::Reply { tx, reply: ClientReply::Outcome { committed: commit } },
+            Msg::Reply {
+                tx,
+                reply: ClientReply::Outcome { committed: commit },
+            },
         );
         if self.cfg.record_history {
             let rec = TxnOutcomeRecord {
@@ -1181,7 +1384,10 @@ impl Replica {
     /// Participant-side outcome from received votes (GC mode: every
     /// `vote_recv` replica decides locally, Figure 2-a).
     fn check_part_outcome(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId) {
-        if !matches!(self.cfg.spec.commitment, CommitmentKind::GroupCommunication { .. }) {
+        if !matches!(
+            self.cfg.spec.commitment,
+            CommitmentKind::GroupCommunication { .. }
+        ) {
             return;
         }
         if self.cfg.spec.votes == VoteRule::LocalDecide {
@@ -1192,6 +1398,7 @@ impl Replica {
             return;
         }
         let Some(v) = self.votes.get(&tx) else { return };
+        let merged_clocks = v.clocks.clone();
         let outcome = if v.any_no {
             Some(false)
         } else {
@@ -1222,25 +1429,38 @@ impl Replica {
                 .then_some(true)
         };
         if let Some(commit) = outcome {
-            self.part.get_mut(&tx).expect("present").outcome = Some(commit);
+            let p = self.part.get_mut(&tx).expect("present");
+            p.outcome = Some(commit);
+            if p.decided_clocks.is_empty() {
+                p.decided_clocks = merged_clocks;
+            }
             self.process_queue(ctx);
         }
     }
 
     /// Decision received (or taken locally).
-    fn on_decide(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, commit: bool) {
+    fn on_decide(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        tx: TxId,
+        commit: bool,
+        clocks: Vec<(u32, u64)>,
+    ) {
         if let Some(wal) = self.wal.as_mut() {
             ctx.consume(self.cfg.costs.per_log_append);
             wal.append(&gdur_persist::LogRecord::Decision { tx, commit });
         }
         let Some(p) = self.part.get_mut(&tx) else {
             if !self.done.contains(&tx) {
-                self.early_decide.insert(tx, commit);
+                self.early_decide.insert(tx, (commit, clocks));
             }
             return;
         };
         if p.outcome.is_none() {
             p.outcome = Some(commit);
+        }
+        if p.decided_clocks.is_empty() {
+            p.decided_clocks = clocks;
         }
         match self.cfg.spec.commitment {
             CommitmentKind::GroupCommunication { .. } => {
@@ -1251,10 +1471,16 @@ impl Replica {
                 // Spontaneous order: apply and terminate immediately.
                 let p = self.part.get_mut(&tx).expect("present");
                 let payload = p.payload.clone();
+                let decided_clocks = p.decided_clocks.clone();
+                let reserved = p.reserved.clone();
                 let applied = p.applied;
                 if commit && !applied {
                     p.applied = true;
-                    self.apply(ctx, &payload);
+                    self.apply(ctx, &payload, &decided_clocks, &reserved);
+                } else if !commit {
+                    // Aborted reservations resolve too, or the frontier
+                    // would stall on their slots forever.
+                    self.resolve_reservations(&reserved);
                 }
                 self.index_remove(ctx, tx, &payload);
                 self.part.remove(&tx);
@@ -1292,9 +1518,14 @@ impl Replica {
             };
             let p = self.part.get(&head).expect("present");
             let payload = p.payload.clone();
+            let decided_clocks = p.decided_clocks.clone();
+            let reserved = p.reserved.clone();
             if commit && !p.applied {
                 self.part.get_mut(&head).expect("present").applied = true;
-                self.apply(ctx, &payload);
+                self.apply(ctx, &payload, &decided_clocks, &reserved);
+            } else if !commit {
+                // Aborted reservations must resolve, or the frontier stalls.
+                self.resolve_reservations(&reserved);
             }
             self.q.pop_front();
             if self.cfg.spec.votes == VoteRule::Distributed {
@@ -1306,26 +1537,112 @@ impl Replica {
         }
     }
 
+    /// True if commit vectors are assembled from vote-time clock
+    /// reservations: voting commitment over a vector mechanism. Vote-free
+    /// total-order protocols (`LocalDecide`) and scalar TS keep the legacy
+    /// bump-at-install clocks.
+    fn vote_clocked(&self) -> bool {
+        self.cfg.spec.votes == VoteRule::Distributed && self.cfg.spec.versioning != Mechanism::Ts
+    }
+
+    /// Reserves this replica's commit-clock slots for `payload`'s locally
+    /// hosted written partitions. Called on every yes vote; the slots ride
+    /// in the vote so the coordinator can assemble one complete commit
+    /// vector covering every written partition.
+    fn reserve_clocks(&mut self, payload: &TermPayload) -> Vec<(u32, u64)> {
+        if !self.vote_clocked() {
+            return Vec::new();
+        }
+        let mut out: Vec<(u32, u64)> = Vec::new();
+        for w in payload.ws.iter() {
+            if !self.is_local(w.key) {
+                continue;
+            }
+            let p = self.cfg.placement.partition_of(w.key).index();
+            if out.iter().any(|(q, _)| *q as usize == p) {
+                continue;
+            }
+            let s = self.reserved.get(p).max(self.knowledge.get(p)) + 1;
+            self.reserved.set(p, s);
+            out.push((p as u32, s));
+        }
+        out
+    }
+
+    /// Marks reservation `s` of partition `p` resolved (installed or
+    /// aborted). The visibility frontier advances only over contiguous
+    /// resolutions, so snapshots never admit in-flight commits.
+    fn resolve_clock(&mut self, p: usize, s: u64) {
+        if s <= self.knowledge.get(p) {
+            return;
+        }
+        let ahead = self.resolved_ahead.entry(p).or_default();
+        ahead.insert(s);
+        let mut frontier = self.knowledge.get(p);
+        while ahead.remove(&(frontier + 1)) {
+            frontier += 1;
+        }
+        if ahead.is_empty() {
+            self.resolved_ahead.remove(&p);
+        }
+        self.knowledge.set(p, frontier);
+    }
+
+    fn resolve_reservations(&mut self, reserved: &[(u32, u64)]) {
+        for (p, s) in reserved {
+            self.resolve_clock(*p as usize, *s);
+        }
+    }
+
     /// Applies after-values of locally hosted partitions and runs the
     /// `post_commit` hook.
-    fn apply(&mut self, ctx: &mut Context<'_, Msg>, payload: &TermPayload) {
+    fn apply(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        payload: &TermPayload,
+        decided_clocks: &[(u32, u64)],
+        reserved: &[(u32, u64)],
+    ) {
         use crate::spec::PostCommitRule;
+        let vote_clocked = self.vote_clocked() && !decided_clocks.is_empty();
+        // Resolve this replica's own reservations first: the frontier
+        // advance and the installs below land in the same simulation event,
+        // so they are atomic to every other process.
+        if vote_clocked {
+            self.resolve_reservations(reserved);
+        }
         let mut bumped: Vec<(usize, u64)> = Vec::new();
-        // First pass: advance partition clocks once per written partition.
+        // First pass: fix the partition clock entry once per locally
+        // written partition — the vote-time reservation when the decision
+        // carries one, a fresh bump otherwise (legacy clocks).
         for w in payload.ws.iter() {
             let p = self.cfg.placement.partition_of(w.key).index();
             if !self.is_local(w.key) || bumped.iter().any(|(q, _)| *q == p) {
                 continue;
             }
-            let s = self.knowledge.bump(p);
+            let s = match decided_clocks.iter().find(|(q, _)| *q as usize == p) {
+                Some((_, s)) if vote_clocked => *s,
+                _ => self.knowledge.bump(p),
+            };
             bumped.push((p, s));
         }
-        // Commit vector: dependencies + this transaction's own entries.
+        // Commit vector: dependencies + this transaction's own entries. In
+        // vote-clocked mode the decision's merged reservations cover every
+        // written partition, local or not, so every install of the
+        // transaction (at every replica) carries the same complete vector.
         let mut commit_vec = payload.dep.clone();
         if commit_vec.dim() == self.knowledge.dim() {
             for (p, s) in &bumped {
                 if commit_vec.get(*p) < *s {
                     commit_vec.set(*p, *s);
+                }
+            }
+            if vote_clocked {
+                for (q, s) in decided_clocks {
+                    let q = *q as usize;
+                    if q < commit_vec.dim() && commit_vec.get(q) < *s {
+                        commit_vec.set(q, *s);
+                    }
                 }
             }
         }
@@ -1339,9 +1656,14 @@ impl Replica {
                 Mechanism::Ts => {
                     Stamp::Ts(self.store.latest_seq(w.key).map(|s| s + 1).unwrap_or(0))
                 }
-                _ => Stamp::Vec { origin: p.0, vec: commit_vec.clone() },
+                _ => Stamp::Vec {
+                    origin: p.0,
+                    vec: commit_vec.clone(),
+                },
             };
-            let seq = self.store.install(w.key, w.value.clone(), stamp.clone(), payload.tx);
+            let seq = self
+                .store
+                .install(w.key, w.value.clone(), stamp.clone(), payload.tx);
             self.stats.applies += 1;
             if let Some(wal) = self.wal.as_mut() {
                 ctx.consume(self.cfg.costs.per_log_append);
@@ -1366,10 +1688,24 @@ impl Replica {
             for (p, s) in bumped {
                 let part = gdur_store::PartitionId(p as u32);
                 if self.cfg.placement.replicas(part)[0] == self.cfg.site {
+                    // Vote-clocked mode propagates the resolved frontier,
+                    // never a reservation that may still have in-flight
+                    // commits below it.
+                    let seq = if vote_clocked {
+                        self.knowledge.get(p)
+                    } else {
+                        s
+                    };
                     for site in self.cfg.placement.all_sites() {
                         let pid = self.pid_of_site(site);
                         if pid != self.me {
-                            ctx.send(pid, Msg::Propagate { partition: p as u32, seq: s });
+                            ctx.send(
+                                pid,
+                                Msg::Propagate {
+                                    partition: p as u32,
+                                    seq,
+                                },
+                            );
                             self.stats.propagates_sent += 1;
                         }
                     }
@@ -1396,23 +1732,30 @@ impl Replica {
             Msg::Client { tx, op } => self.on_client_op(ctx, from, tx, op),
             Msg::Reply { .. } => unreachable!("replicas do not receive client replies"),
             Msg::ReadReq { tx, key, snap } => self.on_read_req(ctx, from, tx, key, snap),
-            Msg::ReadRep { tx, key, value, seq, stamp: _, snap } => {
-                self.on_read_rep(ctx, tx, key, value, seq, snap)
-            }
+            Msg::ReadRep {
+                tx,
+                key,
+                value,
+                seq,
+                stamp: _,
+                snap,
+            } => self.on_read_rep(ctx, tx, key, value, seq, snap),
             Msg::Gc(m) => {
                 ctx.consume(self.cfg.costs.per_message);
                 let mut out = Vec::new();
                 self.gc.on_message(from, m, &mut out);
                 self.flush_gc(ctx, out);
             }
-            Msg::Vote { tx, yes } => {
+            Msg::Vote { tx, yes, clocks } => {
                 ctx.consume(self.cfg.costs.per_message);
                 let site = self.site_of_pid(from);
-                self.record_vote(ctx, tx, site, yes);
+                self.record_vote(ctx, tx, site, yes, clocks);
             }
-            Msg::Decide { tx, commit, .. } => {
+            Msg::Decide {
+                tx, commit, clocks, ..
+            } => {
                 ctx.consume(self.cfg.costs.per_message);
-                self.on_decide(ctx, tx, commit);
+                self.on_decide(ctx, tx, commit, clocks);
             }
             Msg::PaxosAccept { tx, commit } => {
                 ctx.consume(self.cfg.costs.per_message);

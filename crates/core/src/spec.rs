@@ -12,6 +12,30 @@ use gdur_gc::XcastKind;
 use gdur_sim::SimDuration;
 use gdur_versioning::Mechanism;
 
+/// The consistency criteria of the paper (§2, Table 2), as *claims*: every
+/// [`ProtocolSpec`] names the criterion it promises, the static linter
+/// ([`ProtocolSpec::validate`]) checks the plug-in mix can deliver it, and
+/// the `gdur-consistency` oracle checks executions against it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Criterion {
+    /// Serializability (P-Store, S-DUR).
+    Ser,
+    /// Update serializability (GMU).
+    Us,
+    /// Snapshot isolation (Serrano).
+    Si,
+    /// Parallel snapshot isolation (Walter).
+    Psi,
+    /// Non-monotonic snapshot isolation (Jessy2pc).
+    Nmsi,
+    /// Read committed (the RC baseline).
+    Rc,
+    /// Read atomicity (RAMP-style, the paper's future-work criterion):
+    /// committed reads plus freedom from fractured reads, with no
+    /// write-write or serialization guarantees.
+    Ra,
+}
+
 /// Realization of `choose` (§4.2): which version a read returns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChooseRule {
@@ -166,6 +190,10 @@ impl Default for CostModel {
 pub struct ProtocolSpec {
     /// Human-readable protocol name (e.g. `"P-Store"`).
     pub name: &'static str,
+    /// The consistency criterion this assembly claims to implement; the
+    /// spec linter checks the plug-ins against it, the history oracle
+    /// checks executions against it.
+    pub criterion: Criterion,
     /// Versioning mechanism Θ (§4.1).
     pub versioning: Mechanism,
     /// Version-selection rule (§4.2).
@@ -217,6 +245,7 @@ mod tests {
     fn base() -> ProtocolSpec {
         ProtocolSpec {
             name: "test",
+            criterion: Criterion::Nmsi,
             versioning: Mechanism::Ts,
             choose: ChooseRule::Last,
             commitment: CommitmentKind::TwoPhaseCommit,
@@ -250,7 +279,10 @@ mod tests {
         assert!(base().wait_free_queries());
         let mut pstore_like = base();
         pstore_like.certifying_obj = CertifyingObjRule::ReadWriteSet;
-        assert!(!pstore_like.wait_free_queries(), "P-Store certifies queries");
+        assert!(
+            !pstore_like.wait_free_queries(),
+            "P-Store certifies queries"
+        );
     }
 
     #[test]

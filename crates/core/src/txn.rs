@@ -169,6 +169,23 @@ impl Snapshot {
         true
     }
 
+    /// Lower bound this snapshot requires of partition `p`'s visibility
+    /// frontier before a read of that partition can be served soundly: the
+    /// pinned (or begin-time) entry, or the dependency bound accumulated
+    /// from prior reads. A serving replica whose frontier is below this
+    /// bound may still be missing installs the snapshot already admits.
+    pub fn wait_bound(&self, p: usize) -> u64 {
+        if self.snap.is_empty() {
+            return 0;
+        }
+        let need = self.need.get(p);
+        if self.snap[p] != UNPINNED {
+            self.snap[p].max(need)
+        } else {
+            need
+        }
+    }
+
     /// Records that the transaction read a version stamped `stamp`,
     /// accumulating its dependencies as lower bounds for future pins.
     pub fn observe(&mut self, stamp: &Stamp) {
@@ -254,7 +271,10 @@ mod tests {
         assert!(snap.is_fixed());
         assert!(snap.admits(&vstamp(0, &[2, 0])));
         assert!(!snap.admits(&vstamp(0, &[3, 0])), "beyond the pin");
-        assert!(!snap.admits(&vstamp(1, &[3, 5])), "depends past partition 0's pin");
+        assert!(
+            !snap.admits(&vstamp(1, &[3, 5])),
+            "depends past partition 0's pin"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@ use gdur_versioning::Mechanism;
 fn jessy_like() -> ProtocolSpec {
     ProtocolSpec {
         name: "jessy-like",
+        criterion: gdur_core::Criterion::Nmsi,
         versioning: Mechanism::Pdv,
         choose: ChooseRule::Consistent,
         commitment: CommitmentKind::TwoPhaseCommit,
@@ -28,9 +29,12 @@ fn jessy_like() -> ProtocolSpec {
 fn pstore_like() -> ProtocolSpec {
     ProtocolSpec {
         name: "pstore-like",
+        criterion: gdur_core::Criterion::Ser,
         versioning: Mechanism::Ts,
         choose: ChooseRule::Last,
-        commitment: CommitmentKind::GroupCommunication { xcast: XcastKind::AmCast },
+        commitment: CommitmentKind::GroupCommunication {
+            xcast: XcastKind::AmCast,
+        },
         certifying_obj: CertifyingObjRule::ReadWriteSet,
         commute: CommuteRule::ReadWriteDisjoint,
         certify: CertifyRule::ReadSetCurrent,
@@ -42,9 +46,12 @@ fn pstore_like() -> ProtocolSpec {
 fn serrano_like() -> ProtocolSpec {
     ProtocolSpec {
         name: "serrano-like",
+        criterion: gdur_core::Criterion::Si,
         versioning: Mechanism::Ts,
-        choose: ChooseRule::Last,
-        commitment: CommitmentKind::GroupCommunication { xcast: XcastKind::AbCast },
+        choose: ChooseRule::Consistent,
+        commitment: CommitmentKind::GroupCommunication {
+            xcast: XcastKind::AbCast,
+        },
         certifying_obj: CertifyingObjRule::AllObjects,
         commute: CommuteRule::WriteWriteDisjoint,
         certify: CertifyRule::WriteSetCurrent,
@@ -56,6 +63,7 @@ fn serrano_like() -> ProtocolSpec {
 fn walter_like() -> ProtocolSpec {
     ProtocolSpec {
         name: "walter-like",
+        criterion: gdur_core::Criterion::Psi,
         versioning: Mechanism::Vts,
         choose: ChooseRule::Consistent,
         commitment: CommitmentKind::TwoPhaseCommit,
@@ -82,9 +90,15 @@ fn paxos_like() -> ProtocolSpec {
 fn plans(client: usize) -> Vec<TxnPlan> {
     let o = 30 * client as u64;
     vec![
-        TxnPlan { ops: vec![PlanOp::Read(Key(0)), PlanOp::Update(Key(1 + o))] },
-        TxnPlan { ops: vec![PlanOp::Read(Key(2)), PlanOp::Read(Key(5))] },
-        TxnPlan { ops: vec![PlanOp::Update(Key(4 + o)), PlanOp::Read(Key(3))] },
+        TxnPlan {
+            ops: vec![PlanOp::Read(Key(0)), PlanOp::Update(Key(1 + o))],
+        },
+        TxnPlan {
+            ops: vec![PlanOp::Read(Key(2)), PlanOp::Read(Key(5))],
+        },
+        TxnPlan {
+            ops: vec![PlanOp::Update(Key(4 + o)), PlanOp::Read(Key(3))],
+        },
     ]
 }
 
@@ -180,11 +194,16 @@ fn wait_free_queries_have_zero_termination_latency() {
 #[test]
 fn pstore_queries_pay_certification() {
     let cluster = run(pstore_like(), 2);
-    let ro: Vec<_> = cluster.records().into_iter().filter(|r| r.read_only).collect();
+    let ro: Vec<_> = cluster
+        .records()
+        .into_iter()
+        .filter(|r| r.read_only)
+        .collect();
     assert!(!ro.is_empty());
     // AM-Cast + votes across WAN: at least one round trip (> 10 ms).
     assert!(
-        ro.iter().all(|r| r.termination_latency().as_nanos() > 10_000_000),
+        ro.iter()
+            .all(|r| r.termination_latency().as_nanos() > 10_000_000),
         "P-Store queries must synchronize at termination"
     );
 }

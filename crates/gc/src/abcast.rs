@@ -13,7 +13,7 @@
 //! Serrano's SI protocol (§6.3) uses AB-Cast to order update transactions
 //! across *all* replicas.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use gdur_sim::ProcessId;
 
@@ -34,7 +34,7 @@ pub struct AbCastEngine<P> {
     /// Out-of-order buffer: seq → (origin, payload).
     buffered: BTreeMap<u64, (ProcessId, P)>,
     /// Uniformity acks per sequence (self-ack included).
-    acks: HashMap<u64, usize>,
+    acks: BTreeMap<u64, usize>,
 }
 
 impl<P: Clone> AbCastEngine<P> {
@@ -54,7 +54,7 @@ impl<P: Clone> AbCastEngine<P> {
             next_assign: 0,
             next_deliver: 0,
             buffered: BTreeMap::new(),
-            acks: HashMap::new(),
+            acks: BTreeMap::new(),
         }
     }
 
@@ -98,13 +98,20 @@ impl<P: Clone> AbCastEngine<P> {
                 self.assign_and_fanout(from, payload, out);
                 true
             }
-            GcMsg::AbOrdered { seq, origin, payload } => {
+            GcMsg::AbOrdered {
+                seq,
+                origin,
+                payload,
+            } => {
                 self.buffered.insert(seq, (origin, payload));
                 // Acknowledge to every other member (the sequencer needs
                 // member acks for its own uniform delivery).
                 for &p in &self.group.clone() {
                     if p != self.me {
-                        out.push(GcEvent::Send { to: p, msg: GcMsg::AbAck { seq } });
+                        out.push(GcEvent::Send {
+                            to: p,
+                            msg: GcMsg::AbAck { seq },
+                        });
                     }
                 }
                 self.bump_ack(seq); // self-ack
@@ -132,7 +139,11 @@ impl<P: Clone> AbCastEngine<P> {
             if p != self.me {
                 out.push(GcEvent::Send {
                     to: p,
-                    msg: GcMsg::AbOrdered { seq, origin, payload: payload.clone() },
+                    msg: GcMsg::AbOrdered {
+                        seq,
+                        origin,
+                        payload: payload.clone(),
+                    },
                 });
             }
         }
@@ -231,13 +242,23 @@ mod tests {
         // (self + the sequencer's implicit ack) because of the gap.
         e.on_message(
             ProcessId(0),
-            GcMsg::AbOrdered { seq: 1, origin: ProcessId(0), payload: 20 },
+            GcMsg::AbOrdered {
+                seq: 1,
+                origin: ProcessId(0),
+                payload: 20,
+            },
             &mut out,
         );
         // Member acks to both other members.
         assert_eq!(
             out.iter()
-                .filter(|e| matches!(e, GcEvent::Send { msg: GcMsg::AbAck { .. }, .. }))
+                .filter(|e| matches!(
+                    e,
+                    GcEvent::Send {
+                        msg: GcMsg::AbAck { .. },
+                        ..
+                    }
+                ))
                 .count(),
             2
         );
@@ -245,7 +266,11 @@ mod tests {
         // The gap fills: both deliver in order (majority = self + sequencer).
         e.on_message(
             ProcessId(0),
-            GcMsg::AbOrdered { seq: 0, origin: ProcessId(2), payload: 10 },
+            GcMsg::AbOrdered {
+                seq: 0,
+                origin: ProcessId(2),
+                payload: 10,
+            },
             &mut out,
         );
         assert_eq!(deliveries(&out), vec![10, 20]);

@@ -171,7 +171,10 @@ mod tests {
         b.on_message(ProcessId(0), msg, &mut out2);
         assert!(matches!(
             out2.as_slice(),
-            [GcEvent::Deliver { origin: ProcessId(0), payload: 5 }]
+            [GcEvent::Deliver {
+                origin: ProcessId(0),
+                payload: 5
+            }]
         ));
     }
 
@@ -184,7 +187,10 @@ mod tests {
         a.xcast(XcastKind::AbCast, vec![], 9, &mut out);
         assert!(out.iter().any(|e| matches!(
             e,
-            GcEvent::Send { msg: GcMsg::AbOrdered { payload: 9, .. }, .. }
+            GcEvent::Send {
+                msg: GcMsg::AbOrdered { payload: 9, .. },
+                ..
+            }
         )));
         out.clear();
         a.on_message(ProcessId(1), GcMsg::AbAck { seq: 0 }, &mut out);

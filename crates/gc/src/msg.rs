@@ -89,9 +89,7 @@ impl<P: WireSize> WireSize for GcMsg<P> {
     fn wire_size(&self) -> usize {
         const HDR: usize = 24;
         match self {
-            GcMsg::AbSubmit { payload } | GcMsg::Reliable { payload } => {
-                HDR + payload.wire_size()
-            }
+            GcMsg::AbSubmit { payload } | GcMsg::Reliable { payload } => HDR + payload.wire_size(),
             GcMsg::AbOrdered { payload, .. } => HDR + 12 + payload.wire_size(),
             GcMsg::AbAck { .. } => HDR + 8,
             GcMsg::SkeenPropose { dests, payload, .. } => {

@@ -23,7 +23,7 @@
 //! comparison of §8.5 measures end to end (Skeen's three delays versus
 //! 2PC's two are what make 2PC faster in the disaster-prone setting).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gdur_sim::ProcessId;
 
@@ -51,9 +51,9 @@ pub struct SkeenEngine<P> {
     clock: u64,
     next_seq: u64,
     /// Messages this process multicast and is collecting proposals for.
-    sending: HashMap<MsgId, SenderState>,
+    sending: BTreeMap<MsgId, SenderState>,
     /// Messages buffered here as a destination, awaiting final order.
-    pending: HashMap<MsgId, PendingMsg<P>>,
+    pending: BTreeMap<MsgId, PendingMsg<P>>,
 }
 
 impl<P: Clone> SkeenEngine<P> {
@@ -63,8 +63,8 @@ impl<P: Clone> SkeenEngine<P> {
             me,
             clock: 0,
             next_seq: 0,
-            sending: HashMap::new(),
-            pending: HashMap::new(),
+            sending: BTreeMap::new(),
+            pending: BTreeMap::new(),
         }
     }
 
@@ -85,7 +85,10 @@ impl<P: Clone> SkeenEngine<P> {
         payload: P,
         out: &mut Vec<GcEvent<P>>,
     ) -> MsgId {
-        assert!(!dests.is_empty(), "multicast needs at least one destination");
+        assert!(
+            !dests.is_empty(),
+            "multicast needs at least one destination"
+        );
         let mut sorted = dests.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -134,7 +137,11 @@ impl<P: Clone> SkeenEngine<P> {
         out: &mut Vec<GcEvent<P>>,
     ) -> bool {
         match msg {
-            GcMsg::SkeenPropose { mid, dests, payload } => {
+            GcMsg::SkeenPropose {
+                mid,
+                dests,
+                payload,
+            } => {
                 self.handle_propose(from, mid, dests, payload, out);
                 true
             }
@@ -199,7 +206,10 @@ impl<P: Clone> SkeenEngine<P> {
                 } else {
                     out.push(GcEvent::Send {
                         to: d,
-                        msg: GcMsg::SkeenFinal { mid, ts: state.best },
+                        msg: GcMsg::SkeenFinal {
+                            mid,
+                            ts: state.best,
+                        },
                     });
                 }
             }
@@ -223,10 +233,7 @@ impl<P: Clone> SkeenEngine<P> {
     /// tiebreaker for determinism).
     fn try_deliver(&mut self, out: &mut Vec<GcEvent<P>>) {
         loop {
-            let Some((&mid, head)) = self
-                .pending
-                .iter()
-                .min_by_key(|(mid, p)| (p.ts, **mid))
+            let Some((&mid, head)) = self.pending.iter().min_by_key(|(mid, p)| (p.ts, **mid))
             else {
                 return;
             };
@@ -261,7 +268,7 @@ mod tests {
 
     /// Routes every Send in `out` to the destination engine, repeatedly,
     /// until quiescent. Collects deliveries per process.
-    fn pump(engines: &mut [SkeenEngine<u32>], out: &mut Vec<GcEvent<u32>>, log: &mut Vec<Vec<u32>>) {
+    fn pump(engines: &mut [SkeenEngine<u32>], out: &mut Vec<GcEvent<u32>>, log: &mut [Vec<u32>]) {
         while let Some(ev) = out.pop() {
             match ev {
                 GcEvent::Send { to, msg } => {
@@ -283,8 +290,9 @@ mod tests {
     /// Full-stack pump that preserves the `from` process for Propose
     /// handling (origin display only; ordering is sender-id based).
     fn run(mcasts: Vec<(usize, Vec<usize>, u32)>, n: usize) -> Vec<Vec<u32>> {
-        let mut engines: Vec<SkeenEngine<u32>> =
-            (0..n).map(|i| SkeenEngine::new(ProcessId(i as u32))).collect();
+        let mut engines: Vec<SkeenEngine<u32>> = (0..n)
+            .map(|i| SkeenEngine::new(ProcessId(i as u32)))
+            .collect();
         let mut log = vec![Vec::new(); n];
         let mut out = Vec::new();
         for (sender, dests, payload) in mcasts {
@@ -324,7 +332,11 @@ mod tests {
     #[test]
     fn partially_overlapping_groups_agree_on_intersection() {
         let log = run(
-            vec![(0, vec![1, 2], 1), (0, vec![2, 3], 2), (3, vec![1, 2, 3], 3)],
+            vec![
+                (0, vec![1, 2], 1),
+                (0, vec![2, 3], 2),
+                (3, vec![1, 2, 3], 3),
+            ],
             4,
         );
         // p2 is in all groups; p1 sees msgs 1 and 3; p3 sees 2 and 3.
@@ -354,30 +366,56 @@ mod tests {
         // deliver a finalized m2 whose timestamp exceeds m1's proposal.
         let mut d: SkeenEngine<u32> = SkeenEngine::new(ProcessId(2));
         let mut out = Vec::new();
-        let m1 = MsgId { sender: ProcessId(0), seq: 0 };
-        let m2 = MsgId { sender: ProcessId(1), seq: 0 };
+        let m1 = MsgId {
+            sender: ProcessId(0),
+            seq: 0,
+        };
+        let m2 = MsgId {
+            sender: ProcessId(1),
+            seq: 0,
+        };
         d.on_message(
             ProcessId(0),
-            GcMsg::SkeenPropose { mid: m1, dests: vec![ProcessId(2)], payload: 1 },
+            GcMsg::SkeenPropose {
+                mid: m1,
+                dests: vec![ProcessId(2)],
+                payload: 1,
+            },
             &mut out,
         );
         d.on_message(
             ProcessId(1),
-            GcMsg::SkeenPropose { mid: m2, dests: vec![ProcessId(2)], payload: 2 },
+            GcMsg::SkeenPropose {
+                mid: m2,
+                dests: vec![ProcessId(2)],
+                payload: 2,
+            },
             &mut out,
         );
         out.clear();
         // m2 finalized at clock 5 (> m1's proposal 1): still blocked by m1.
         d.on_message(
             ProcessId(1),
-            GcMsg::SkeenFinal { mid: m2, ts: SkeenTs { clock: 5, proposer: ProcessId(2) } },
+            GcMsg::SkeenFinal {
+                mid: m2,
+                ts: SkeenTs {
+                    clock: 5,
+                    proposer: ProcessId(2),
+                },
+            },
             &mut out,
         );
         assert!(out.iter().all(|e| !matches!(e, GcEvent::Deliver { .. })));
         // m1 finalized smaller: both deliver, m1 first.
         d.on_message(
             ProcessId(0),
-            GcMsg::SkeenFinal { mid: m1, ts: SkeenTs { clock: 2, proposer: ProcessId(2) } },
+            GcMsg::SkeenFinal {
+                mid: m1,
+                ts: SkeenTs {
+                    clock: 2,
+                    proposer: ProcessId(2),
+                },
+            },
             &mut out,
         );
         let delivered: Vec<u32> = out

@@ -5,7 +5,8 @@
 use gdur_gc::{GcEvent, GcMsg, GroupComm, XcastKind};
 use gdur_net::{GeoLatency, SiteId, Topology};
 use gdur_sim::{Actor, Context, Cores, ProcessId, SimDuration, Simulation, WireSize};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// Payload: a unique message number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +66,10 @@ impl Actor for Node {
         ctx.consume(SimDuration::from_micros(5));
         let Wire::Gc(m) = msg;
         let mut out = Vec::new();
-        self.gc.as_mut().expect("gc endpoint installed").on_message(from, m, &mut out);
+        self.gc
+            .as_mut()
+            .expect("gc endpoint installed")
+            .on_message(from, m, &mut out);
         self.flush(ctx, out);
     }
 }
@@ -166,20 +170,27 @@ fn multicast_delivers_without_order() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Random multicast patterns over random destination groups: every pair
-    /// of processes delivers its common messages in the same relative
-    /// order, and every destination delivers every message addressed to it.
-    #[test]
-    fn amcast_pairwise_order_holds_under_random_patterns(
-        seed in 0u64..1000,
-        pattern in prop::collection::vec(
-            (0usize..4, prop::collection::btree_set(0u32..4, 1..4)),
-            1..12,
-        ),
-    ) {
+/// Random multicast patterns over random destination groups: every pair
+/// of processes delivers its common messages in the same relative
+/// order, and every destination delivers every message addressed to it.
+/// Patterns are drawn from a fixed-seed generator, so the case set is
+/// identical on every run.
+#[test]
+fn amcast_pairwise_order_holds_under_random_patterns() {
+    let mut gen = SmallRng::seed_from_u64(0x0dd5);
+    for _ in 0..24 {
+        let seed = gen.gen_range(0u64..1000);
+        let pattern: Vec<(usize, std::collections::BTreeSet<u32>)> = (0..gen.gen_range(1usize..12))
+            .map(|_| {
+                let sender = gen.gen_range(0usize..4);
+                let k = gen.gen_range(1usize..4);
+                let mut dests = std::collections::BTreeSet::new();
+                while dests.len() < k {
+                    dests.insert(gen.gen_range(0u32..4));
+                }
+                (sender, dests)
+            })
+            .collect();
         let n = 4;
         let mut scripts = vec![Vec::new(); n];
         let mut expected = vec![Vec::new(); n];
@@ -197,7 +208,7 @@ proptest! {
             got.sort_unstable();
             let mut want = expected[i].clone();
             want.sort_unstable();
-            prop_assert_eq!(&got, &want, "process {} missed deliveries", i);
+            assert_eq!(got, want, "process {i} missed deliveries");
         }
         for i in 0..n {
             for j in (i + 1)..n {
@@ -211,7 +222,7 @@ proptest! {
                     .copied()
                     .filter(|x| logs[i].contains(x))
                     .collect();
-                prop_assert_eq!(common, common_j);
+                assert_eq!(common, common_j);
             }
         }
     }

@@ -1,5 +1,6 @@
 //! Experiment definitions and single-point runs.
 
+use gdur_consistency::{CriterionCheck, History};
 use gdur_core::{Cluster, ClusterConfig, CostModel, ProtocolSpec, TxnRecord};
 use gdur_sim::{SimDuration, SimTime};
 use gdur_store::Placement;
@@ -162,8 +163,7 @@ pub struct PointResult {
 fn summarize(records: &[TxnRecord], window: SimDuration, clients_total: usize) -> PointResult {
     let committed: Vec<&TxnRecord> = records.iter().filter(|r| r.committed).collect();
     let aborted = records.len() as u64 - committed.len() as u64;
-    let committed_updates: Vec<&&TxnRecord> =
-        committed.iter().filter(|r| !r.read_only).collect();
+    let committed_updates: Vec<&&TxnRecord> = committed.iter().filter(|r| !r.read_only).collect();
     let mean_ms = |it: &[&&TxnRecord], f: &dyn Fn(&TxnRecord) -> f64| -> f64 {
         if it.is_empty() {
             0.0
@@ -222,7 +222,9 @@ pub fn run_point(exp: &Experiment, scale: &Scale, clients_per_site: usize) -> Po
         max_txns_per_client: None,
         costs: CostModel::default(),
         cores_per_replica: scale.cores,
-        record_history: false,
+        // Always on: every experiment's history is fed to the consistency
+        // oracle below, so no reported number can come from a corrupt run.
+        record_history: true,
         persistence: false,
         seed: scale.seed ^ (clients_per_site as u64) << 32,
     };
@@ -242,6 +244,16 @@ pub fn run_point(exp: &Experiment, scale: &Scale, clients_per_site: usize) -> Po
     cluster.run_for(scale.warmup);
     let warm_end = cluster.now();
     cluster.run_for(scale.measure);
+    // Always-on history verification: check the full run (warm-up
+    // included) against the criterion the spec claims, and refuse to
+    // report measurements from a violating execution.
+    let history = History::from_cluster(&cluster);
+    if let Err(v) = exp.spec.criterion.check(&history) {
+        panic!(
+            "experiment '{}' ({} clients/site) violated its claimed criterion {:?}: {v}",
+            exp.label, clients_per_site, exp.spec.criterion
+        );
+    }
     let records: Vec<TxnRecord> = cluster
         .records()
         .into_iter()
@@ -268,10 +280,7 @@ pub fn run_sweep(exp: &Experiment, scale: &Scale) -> Vec<PointResult> {
 
 /// Maximum committed throughput over a sweep (Figure 5's metric).
 pub fn max_throughput(points: &[PointResult]) -> f64 {
-    points
-        .iter()
-        .map(|p| p.throughput_tps)
-        .fold(0.0, f64::max)
+    points.iter().map(|p| p.throughput_tps).fold(0.0, f64::max)
 }
 
 /// Re-exported so binaries can build custom windows.

@@ -251,7 +251,11 @@ mod tests {
     #[test]
     fn fig5_varies_locality() {
         let f = fig5();
-        let ratios: Vec<f64> = f.panels[0].series.iter().map(|e| e.local_query_ratio).collect();
+        let ratios: Vec<f64> = f.panels[0]
+            .series
+            .iter()
+            .map(|e| e.local_query_ratio)
+            .collect();
         assert_eq!(ratios, [0.1, 0.1, 0.5, 0.5, 0.9, 0.9]);
     }
 

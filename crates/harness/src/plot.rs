@@ -68,7 +68,11 @@ pub fn render_ascii(panel: &PanelResult) -> Option<String> {
     ));
     out.push_str("legend: ");
     for (si, s) in panel.series.iter().enumerate() {
-        out.push_str(&format!("{}={} ", GLYPHS[si % GLYPHS.len()] as char, s.label));
+        out.push_str(&format!(
+            "{}={} ",
+            GLYPHS[si % GLYPHS.len()] as char,
+            s.label
+        ));
     }
     out.push('\n');
     Some(out)

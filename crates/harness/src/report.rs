@@ -45,7 +45,10 @@ pub fn run_figure(fig: &Figure, scale: &Scale) -> FigureResult {
         let mut series = Vec::new();
         for exp in &panel.series {
             let points = run_sweep(exp, scale);
-            series.push(SeriesResult { label: exp.label.clone(), points });
+            series.push(SeriesResult {
+                label: exp.label.clone(),
+                points,
+            });
         }
         panels.push(PanelResult {
             title: panel.title.clone(),
@@ -53,7 +56,11 @@ pub fn run_figure(fig: &Figure, scale: &Scale) -> FigureResult {
             series,
         });
     }
-    FigureResult { id: fig.id, caption: fig.caption, panels }
+    FigureResult {
+        id: fig.id,
+        caption: fig.caption,
+        panels,
+    }
 }
 
 fn metric_value(metric: Metric, p: &PointResult) -> f64 {

@@ -14,9 +14,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::Rng;
+use std::sync::Mutex;
 
 use gdur_sim::{LatencyModel, ProcessId, SimDuration};
 
@@ -78,6 +78,8 @@ impl Topology {
     /// Creates the paper's geo-replicated setting: `sites` data centers with
     /// pairwise one-way latencies spread evenly across 10–20 ms (as on the
     /// Grid'5000 sites), 0.1 ms LAN delay, and 5% jitter.
+    // Triangular fill with symmetric writes: indices are the point.
+    #[allow(clippy::needless_range_loop)]
     pub fn grid5000(sites: usize) -> Self {
         assert!(sites >= 1, "need at least one site");
         let mut latency = vec![vec![SimDuration::ZERO; sites]; sites];
@@ -86,7 +88,11 @@ impl Topology {
         for a in 0..sites {
             for b in (a + 1)..sites {
                 // Deterministically spread base latencies across 10..=20 ms.
-                let frac = if pairs <= 1 { 0.5 } else { k as f64 / (pairs - 1) as f64 };
+                let frac = if pairs <= 1 {
+                    0.5
+                } else {
+                    k as f64 / (pairs - 1) as f64
+                };
                 let one_way = SimDuration::from_micros_f64(10_000.0 + 10_000.0 * frac);
                 latency[a][b] = one_way;
                 latency[b][a] = one_way;
@@ -159,7 +165,7 @@ impl PartitionControl {
     /// Disconnects sites `a` and `b` (both directions).
     pub fn cut(&self, a: SiteId, b: SiteId) {
         let key = if a <= b { (a, b) } else { (b, a) };
-        let mut cuts = self.cut.lock();
+        let mut cuts = self.cut.lock().unwrap();
         if !cuts.contains(&key) {
             cuts.push(key);
         }
@@ -168,13 +174,13 @@ impl PartitionControl {
     /// Reconnects sites `a` and `b`.
     pub fn heal(&self, a: SiteId, b: SiteId) {
         let key = if a <= b { (a, b) } else { (b, a) };
-        self.cut.lock().retain(|k| *k != key);
+        self.cut.lock().unwrap().retain(|k| *k != key);
     }
 
     /// True if the pair is currently disconnected.
     pub fn is_cut(&self, a: SiteId, b: SiteId) -> bool {
         let key = if a <= b { (a, b) } else { (b, a) };
-        self.cut.lock().contains(&key)
+        self.cut.lock().unwrap().contains(&key)
     }
 }
 

@@ -25,7 +25,10 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => write!(f, "truncated log frame"),
             DecodeError::ChecksumMismatch { stored, computed } => {
-                write!(f, "checksum mismatch: stored {stored:#x}, computed {computed:#x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+                )
             }
             DecodeError::UnknownTag(t) => write!(f, "unknown record tag {t}"),
         }

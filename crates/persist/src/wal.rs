@@ -82,7 +82,10 @@ fn get_stamp(buf: &mut Bytes) -> Result<Stamp, DecodeError> {
             for _ in 0..dim {
                 entries.push(codec::get_varint(buf)?);
             }
-            Ok(Stamp::Vec { origin, vec: VersionVec::from_entries(entries) })
+            Ok(Stamp::Vec {
+                origin,
+                vec: VersionVec::from_entries(entries),
+            })
         }
         t => Err(DecodeError::UnknownTag(t)),
     }
@@ -93,7 +96,13 @@ impl LogRecord {
     pub fn encode(&self) -> BytesMut {
         let mut buf = BytesMut::new();
         match self {
-            LogRecord::Install { key, seq, stamp, writer, value } => {
+            LogRecord::Install {
+                key,
+                seq,
+                stamp,
+                writer,
+                value,
+            } => {
                 buf.put_u8(TAG_INSTALL);
                 codec::put_varint(&mut buf, key.0);
                 codec::put_varint(&mut buf, *seq);
@@ -126,7 +135,13 @@ impl LogRecord {
                 let coord = codec::get_varint(&mut body)? as u32;
                 let tseq = codec::get_varint(&mut body)?;
                 let value = Value::from_bytes(codec::get_bytes(&mut body)?);
-                Ok(LogRecord::Install { key, seq, stamp, writer: TxId::new(coord, tseq), value })
+                Ok(LogRecord::Install {
+                    key,
+                    seq,
+                    stamp,
+                    writer: TxId::new(coord, tseq),
+                    value,
+                })
             }
             TAG_DECISION => {
                 let coord = codec::get_varint(&mut body)? as u32;
@@ -135,7 +150,10 @@ impl LogRecord {
                     return Err(DecodeError::Truncated);
                 }
                 let commit = body.get_u8() != 0;
-                Ok(LogRecord::Decision { tx: TxId::new(coord, tseq), commit })
+                Ok(LogRecord::Decision {
+                    tx: TxId::new(coord, tseq),
+                    commit,
+                })
             }
             TAG_CHECKPOINT => Ok(LogRecord::Checkpoint),
             t => Err(DecodeError::UnknownTag(t)),
@@ -197,8 +215,12 @@ impl Wal {
     pub fn scan_bytes(mut data: Bytes) -> Vec<LogRecord> {
         let mut out = Vec::new();
         while data.has_remaining() {
-            let Ok(body) = codec::unframe(&mut data) else { break };
-            let Ok(rec) = LogRecord::decode(body) else { break };
+            let Ok(body) = codec::unframe(&mut data) else {
+                break;
+            };
+            let Ok(rec) = LogRecord::decode(body) else {
+                break;
+            };
             out.push(rec);
         }
         out
@@ -232,7 +254,13 @@ pub fn recover(log: &Wal) -> (MultiVersionStore, Vec<(TxId, bool)>) {
     let mut decisions = Vec::new();
     for rec in log.scan() {
         match rec {
-            LogRecord::Install { key, seq, stamp, writer, value } => {
+            LogRecord::Install {
+                key,
+                seq,
+                stamp,
+                writer,
+                value,
+            } => {
                 if !store.contains_key(key) {
                     if seq == 0 {
                         store.seed(key, value, stamp);
@@ -272,12 +300,18 @@ mod tests {
     fn record_roundtrip() {
         let recs = vec![
             install(5, 0, 50),
-            LogRecord::Decision { tx: TxId::new(2, 9), commit: true },
+            LogRecord::Decision {
+                tx: TxId::new(2, 9),
+                commit: true,
+            },
             LogRecord::Checkpoint,
             LogRecord::Install {
                 key: Key(1),
                 seq: 3,
-                stamp: Stamp::Vec { origin: 2, vec: VersionVec::from_entries(vec![1, 2, 3]) },
+                stamp: Stamp::Vec {
+                    origin: 2,
+                    vec: VersionVec::from_entries(vec![1, 2, 3]),
+                },
                 writer: TxId::new(7, 8),
                 value: Value::of_size(100),
             },
@@ -306,7 +340,10 @@ mod tests {
         wal.append(&install(1, 0, 10));
         wal.append(&install(1, 1, 11));
         wal.append(&install(2, 0, 20));
-        wal.append(&LogRecord::Decision { tx: TxId::new(3, 4), commit: false });
+        wal.append(&LogRecord::Decision {
+            tx: TxId::new(3, 4),
+            commit: false,
+        });
         let (store, decisions) = recover(&wal);
         assert_eq!(store.latest(Key(1)).unwrap().value.as_u64(), Some(11));
         assert_eq!(store.latest_seq(Key(1)), Some(1));

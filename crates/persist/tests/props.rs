@@ -1,62 +1,78 @@
-//! Property tests: WAL encode/decode and recovery are lossless on intact
-//! prefixes, and recovery never panics on arbitrary corruption.
+//! Randomized (seeded, deterministic) tests: WAL encode/decode and recovery
+//! are lossless on intact prefixes, and recovery never panics on arbitrary
+//! corruption. Inputs are driven by a fixed-seed generator so every run
+//! exercises the identical case set.
 
 use bytes::Bytes;
 use gdur_persist::{recover, LogRecord, Wal};
 use gdur_store::{Key, TxId, Value};
 use gdur_versioning::{Stamp, VersionVec};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_stamp() -> impl Strategy<Value = Stamp> {
-    prop_oneof![
-        (0u64..100).prop_map(Stamp::Ts),
-        (0u32..4, prop::collection::vec(0u64..50, 4)).prop_map(|(origin, v)| Stamp::Vec {
-            origin,
+fn arb_stamp(rng: &mut SmallRng) -> Stamp {
+    if rng.gen_bool(0.5) {
+        Stamp::Ts(rng.gen_range(0u64..100))
+    } else {
+        let v: Vec<u64> = (0..4).map(|_| rng.gen_range(0u64..50)).collect();
+        Stamp::Vec {
+            origin: rng.gen_range(0u32..4),
             vec: VersionVec::from_entries(v),
-        }),
-    ]
-}
-
-fn arb_record() -> impl Strategy<Value = LogRecord> {
-    prop_oneof![
-        (0u64..32, 0u64..8, arb_stamp(), 0u32..8, 0u64..100, 0usize..64).prop_map(
-            |(k, seq, stamp, c, ts, len)| LogRecord::Install {
-                key: Key(k),
-                seq,
-                stamp,
-                writer: TxId::new(c, ts),
-                value: Value::of_size(len),
-            }
-        ),
-        (0u32..8, 0u64..100, any::<bool>()).prop_map(|(c, s, commit)| LogRecord::Decision {
-            tx: TxId::new(c, s),
-            commit,
-        }),
-        Just(LogRecord::Checkpoint),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(rec in arb_record()) {
-        let body = rec.encode().freeze();
-        prop_assert_eq!(LogRecord::decode(body).unwrap(), rec);
+        }
     }
+}
 
-    #[test]
-    fn scan_returns_appended_records(recs in prop::collection::vec(arb_record(), 0..20)) {
+fn arb_record(rng: &mut SmallRng) -> LogRecord {
+    match rng.gen_range(0u32..3) {
+        0 => LogRecord::Install {
+            key: Key(rng.gen_range(0u64..32)),
+            seq: rng.gen_range(0u64..8),
+            stamp: arb_stamp(rng),
+            writer: TxId::new(rng.gen_range(0u32..8), rng.gen_range(0u64..100)),
+            value: Value::of_size(rng.gen_range(0usize..64)),
+        },
+        1 => LogRecord::Decision {
+            tx: TxId::new(rng.gen_range(0u32..8), rng.gen_range(0u64..100)),
+            commit: rng.gen_bool(0.5),
+        },
+        _ => LogRecord::Checkpoint,
+    }
+}
+
+fn arb_records(rng: &mut SmallRng, lo: usize, hi: usize) -> Vec<LogRecord> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| arb_record(rng)).collect()
+}
+
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x9e1d);
+    for _ in 0..256 {
+        let rec = arb_record(&mut rng);
+        let body = rec.encode().freeze();
+        assert_eq!(LogRecord::decode(body).unwrap(), rec);
+    }
+}
+
+#[test]
+fn scan_returns_appended_records() {
+    let mut rng = SmallRng::seed_from_u64(0xa11e);
+    for _ in 0..64 {
+        let recs = arb_records(&mut rng, 0, 20);
         let mut wal = Wal::new();
         for r in &recs {
             wal.append(r);
         }
-        prop_assert_eq!(wal.scan(), recs);
+        assert_eq!(wal.scan(), recs);
     }
+}
 
-    #[test]
-    fn truncated_images_yield_a_prefix(
-        recs in prop::collection::vec(arb_record(), 1..12),
-        cut_back in 1usize..32,
-    ) {
+#[test]
+fn truncated_images_yield_a_prefix() {
+    let mut rng = SmallRng::seed_from_u64(0x7c21);
+    for _ in 0..64 {
+        let recs = arb_records(&mut rng, 1, 12);
+        let cut_back = rng.gen_range(1usize..32);
         let mut wal = Wal::new();
         for r in &recs {
             wal.append(r);
@@ -64,15 +80,17 @@ proptest! {
         let img = wal.as_bytes();
         let cut = img.len().saturating_sub(cut_back);
         let scanned = Wal::scan_bytes(img.slice(..cut));
-        prop_assert!(scanned.len() <= recs.len());
-        prop_assert_eq!(&recs[..scanned.len()], &scanned[..]);
+        assert!(scanned.len() <= recs.len());
+        assert_eq!(&recs[..scanned.len()], &scanned[..]);
     }
+}
 
-    #[test]
-    fn recovery_never_panics_on_corruption(
-        recs in prop::collection::vec(arb_record(), 1..8),
-        flip in 0usize..256,
-    ) {
+#[test]
+fn recovery_never_panics_on_corruption() {
+    let mut rng = SmallRng::seed_from_u64(0xbad5eed);
+    for _ in 0..128 {
+        let recs = arb_records(&mut rng, 1, 8);
+        let flip = rng.gen_range(0usize..256);
         let mut wal = Wal::new();
         for r in &recs {
             wal.append(r);
@@ -85,13 +103,18 @@ proptest! {
         // Scanning a corrupt image must stop cleanly, never panic.
         let _ = Wal::scan_bytes(Bytes::from(img));
     }
+}
 
-    /// Recovery reproduces the per-key latest values of a sequential
-    /// install history.
-    #[test]
-    fn recovery_matches_installs(
-        writes in prop::collection::vec((0u64..8, 0u64..1000), 1..40),
-    ) {
+/// Recovery reproduces the per-key latest values of a sequential
+/// install history.
+#[test]
+fn recovery_matches_installs() {
+    let mut rng = SmallRng::seed_from_u64(0x1e57);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..40);
+        let writes: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0u64..8), rng.gen_range(0u64..1000)))
+            .collect();
         let mut wal = Wal::new();
         let mut latest: std::collections::HashMap<u64, (u64, u64)> = Default::default();
         for (k, v) in writes {
@@ -107,8 +130,8 @@ proptest! {
         }
         let (store, _) = recover(&wal);
         for (k, (seq, v)) in latest {
-            prop_assert_eq!(store.latest_seq(Key(k)), Some(seq));
-            prop_assert_eq!(store.latest(Key(k)).unwrap().value.as_u64(), Some(v));
+            assert_eq!(store.latest_seq(Key(k)), Some(seq));
+            assert_eq!(store.latest(Key(k)).unwrap().value.as_u64(), Some(v));
         }
     }
 }

@@ -23,8 +23,8 @@
 //! [`p_store_paxos`] (the Paxos Commit realization the paper elides).
 
 use gdur_core::{
-    CertifyRule, CertifyingObjRule, ChooseRule, CommitmentKind, CommuteRule, PostCommitRule,
-    ProtocolSpec, VoteRule,
+    CertifyRule, CertifyingObjRule, ChooseRule, CommitmentKind, CommuteRule, Criterion,
+    PostCommitRule, ProtocolSpec, VoteRule,
 };
 use gdur_gc::XcastKind;
 use gdur_versioning::Mechanism;
@@ -37,14 +37,16 @@ use gdur_versioning::Mechanism;
 pub fn p_store() -> ProtocolSpec {
     ProtocolSpec {
         name: "P-Store",
-        versioning: Mechanism::Ts,                                  // line 1: Θ ≡ TS
-        choose: ChooseRule::Last,                                   // line 2: choose ≡ choose_last
-        commitment: CommitmentKind::GroupCommunication {            // line 3: AC ≡ gc
-            xcast: XcastKind::AmCast,                               // line 4: xcast ≡ AM-Cast
+        criterion: Criterion::Ser,
+        versioning: Mechanism::Ts, // line 1: Θ ≡ TS
+        choose: ChooseRule::Last,  // line 2: choose ≡ choose_last
+        commitment: CommitmentKind::GroupCommunication {
+            // line 3: AC ≡ gc
+            xcast: XcastKind::AmCast, // line 4: xcast ≡ AM-Cast
         },
-        certifying_obj: CertifyingObjRule::ReadWriteSet,            // line 5: ws ∪ rs
-        commute: CommuteRule::ReadWriteDisjoint,                    // line 6
-        certify: CertifyRule::ReadSetCurrent,                       // line 7
+        certifying_obj: CertifyingObjRule::ReadWriteSet, // line 5: ws ∪ rs
+        commute: CommuteRule::ReadWriteDisjoint,         // line 6
+        certify: CertifyRule::ReadSetCurrent,            // line 7
         votes: VoteRule::Distributed,
         post_commit: PostCommitRule::Nothing,
     }
@@ -56,16 +58,18 @@ pub fn p_store() -> ProtocolSpec {
 pub fn s_dur() -> ProtocolSpec {
     ProtocolSpec {
         name: "S-DUR",
-        versioning: Mechanism::Vts,                                 // line 1: Θ ≡ VTS
-        choose: ChooseRule::Consistent,                             // line 2: choose ≡ choose_cons
-        commitment: CommitmentKind::GroupCommunication {            // line 3: AC ≡ gc
-            xcast: XcastKind::AmPwCast,                             // line 4: xcast ≡ AMpw-Cast
+        criterion: Criterion::Ser,
+        versioning: Mechanism::Vts,     // line 1: Θ ≡ VTS
+        choose: ChooseRule::Consistent, // line 2: choose ≡ choose_cons
+        commitment: CommitmentKind::GroupCommunication {
+            // line 3: AC ≡ gc
+            xcast: XcastKind::AmPwCast, // line 4: xcast ≡ AMpw-Cast
         },
-        certifying_obj: CertifyingObjRule::ReadWriteSetIfUpdate,    // line 5
-        commute: CommuteRule::ReadWriteDisjoint,                    // line 6
-        certify: CertifyRule::ReadSetCurrent,                       // line 7
+        certifying_obj: CertifyingObjRule::ReadWriteSetIfUpdate, // line 5
+        commute: CommuteRule::ReadWriteDisjoint,                 // line 6
+        certify: CertifyRule::ReadSetCurrent,                    // line 7
         votes: VoteRule::Distributed,
-        post_commit: PostCommitRule::PropagateStamps,               // line 8: M-Cast Θ(Ti)
+        post_commit: PostCommitRule::PropagateStamps, // line 8: M-Cast Θ(Ti)
     }
 }
 
@@ -75,12 +79,13 @@ pub fn s_dur() -> ProtocolSpec {
 pub fn gmu() -> ProtocolSpec {
     ProtocolSpec {
         name: "GMU",
-        versioning: Mechanism::Gmv,                                 // line 1: Θ ≡ GMV
-        choose: ChooseRule::Consistent,                             // line 2: choose ≡ choose_cons
-        commitment: CommitmentKind::TwoPhaseCommit,                 // line 3: AC ≡ 2pc
-        certifying_obj: CertifyingObjRule::ReadWriteSetIfUpdate,    // line 4
-        commute: CommuteRule::ReadWriteDisjoint,                    // line 5
-        certify: CertifyRule::ReadSetCurrent,                       // line 6
+        criterion: Criterion::Us,
+        versioning: Mechanism::Gmv,                 // line 1: Θ ≡ GMV
+        choose: ChooseRule::Consistent,             // line 2: choose ≡ choose_cons
+        commitment: CommitmentKind::TwoPhaseCommit, // line 3: AC ≡ 2pc
+        certifying_obj: CertifyingObjRule::ReadWriteSetIfUpdate, // line 4
+        commute: CommuteRule::ReadWriteDisjoint,    // line 5
+        certify: CertifyRule::ReadSetCurrent,       // line 6
         votes: VoteRule::Distributed,
         post_commit: PostCommitRule::Nothing,
     }
@@ -93,15 +98,17 @@ pub fn gmu() -> ProtocolSpec {
 pub fn serrano() -> ProtocolSpec {
     ProtocolSpec {
         name: "Serrano",
-        versioning: Mechanism::Ts,                                  // line 2: Θ ≡ TS
-        choose: ChooseRule::Consistent,                             // line 1: choose ≡ choose_cons
-        commitment: CommitmentKind::GroupCommunication {            // line 3: AC ≡ gc
-            xcast: XcastKind::AbCast,                               // line 4: xcast ≡ AB-Cast
+        criterion: Criterion::Si,
+        versioning: Mechanism::Ts,      // line 2: Θ ≡ TS
+        choose: ChooseRule::Consistent, // line 1: choose ≡ choose_cons
+        commitment: CommitmentKind::GroupCommunication {
+            // line 3: AC ≡ gc
+            xcast: XcastKind::AbCast, // line 4: xcast ≡ AB-Cast
         },
-        certifying_obj: CertifyingObjRule::AllObjects,              // line 5: Objects
-        commute: CommuteRule::WriteWriteDisjoint,                   // line 6
-        certify: CertifyRule::WriteSetCurrent,                      // line 7
-        votes: VoteRule::LocalDecide,                               // line 8: LocalObjects
+        certifying_obj: CertifyingObjRule::AllObjects, // line 5: Objects
+        commute: CommuteRule::WriteWriteDisjoint,      // line 6
+        certify: CertifyRule::WriteSetCurrent,         // line 7
+        votes: VoteRule::LocalDecide,                  // line 8: LocalObjects
         post_commit: PostCommitRule::Nothing,
     }
 }
@@ -112,14 +119,15 @@ pub fn serrano() -> ProtocolSpec {
 pub fn walter() -> ProtocolSpec {
     ProtocolSpec {
         name: "Walter",
-        versioning: Mechanism::Vts,                                 // line 2: Θ ≡ VTS
-        choose: ChooseRule::Consistent,                             // line 1: choose ≡ choose_cons
-        commitment: CommitmentKind::TwoPhaseCommit,                 // line 3: AC ≡ 2pc
-        certifying_obj: CertifyingObjRule::WriteSetIfUpdate,        // line 4: ws
-        commute: CommuteRule::WriteWriteDisjoint,                   // line 5
-        certify: CertifyRule::WriteSetCurrent,                      // line 6
+        criterion: Criterion::Psi,
+        versioning: Mechanism::Vts,                 // line 2: Θ ≡ VTS
+        choose: ChooseRule::Consistent,             // line 1: choose ≡ choose_cons
+        commitment: CommitmentKind::TwoPhaseCommit, // line 3: AC ≡ 2pc
+        certifying_obj: CertifyingObjRule::WriteSetIfUpdate, // line 4: ws
+        commute: CommuteRule::WriteWriteDisjoint,   // line 5
+        certify: CertifyRule::WriteSetCurrent,      // line 6
         votes: VoteRule::Distributed,
-        post_commit: PostCommitRule::PropagateStamps,               // line 7: M-Cast Θ(Ti)
+        post_commit: PostCommitRule::PropagateStamps, // line 7: M-Cast Θ(Ti)
     }
 }
 
@@ -130,12 +138,13 @@ pub fn walter() -> ProtocolSpec {
 pub fn jessy_2pc() -> ProtocolSpec {
     ProtocolSpec {
         name: "Jessy2pc",
-        versioning: Mechanism::Pdv,                                 // line 2: Θ ≡ PDV
-        choose: ChooseRule::Consistent,                             // line 1: choose ≡ choose_cons
-        commitment: CommitmentKind::TwoPhaseCommit,                 // line 3: AC ≡ 2pc
-        certifying_obj: CertifyingObjRule::WriteSetIfUpdate,        // line 4: ws
-        commute: CommuteRule::WriteWriteDisjoint,                   // line 5
-        certify: CertifyRule::WriteSetCurrent,                      // line 6
+        criterion: Criterion::Nmsi,
+        versioning: Mechanism::Pdv,                 // line 2: Θ ≡ PDV
+        choose: ChooseRule::Consistent,             // line 1: choose ≡ choose_cons
+        commitment: CommitmentKind::TwoPhaseCommit, // line 3: AC ≡ 2pc
+        certifying_obj: CertifyingObjRule::WriteSetIfUpdate, // line 4: ws
+        commute: CommuteRule::WriteWriteDisjoint,   // line 5
+        certify: CertifyRule::WriteSetCurrent,      // line 6
         votes: VoteRule::Distributed,
         post_commit: PostCommitRule::Nothing,
     }
@@ -148,6 +157,7 @@ pub fn jessy_2pc() -> ProtocolSpec {
 pub fn read_committed() -> ProtocolSpec {
     ProtocolSpec {
         name: "RC",
+        criterion: Criterion::Rc,
         versioning: Mechanism::Ts,
         choose: ChooseRule::Last,
         commitment: CommitmentKind::TwoPhaseCommit,
@@ -166,6 +176,7 @@ pub fn read_committed() -> ProtocolSpec {
 pub fn gmu_star() -> ProtocolSpec {
     ProtocolSpec {
         name: "GMU*",
+        criterion: Criterion::Rc,
         choose: ChooseRule::Last,
         ..gmu()
     }
@@ -177,6 +188,7 @@ pub fn gmu_star() -> ProtocolSpec {
 pub fn gmu_star_star() -> ProtocolSpec {
     ProtocolSpec {
         name: "GMU**",
+        criterion: Criterion::Rc,
         choose: ChooseRule::Last,
         certify: CertifyRule::AlwaysPass,
         commute: CommuteRule::Always,
@@ -192,6 +204,7 @@ pub fn gmu_star_star() -> ProtocolSpec {
 pub fn p_store_la() -> ProtocolSpec {
     ProtocolSpec {
         name: "P-Store-la",
+        criterion: Criterion::Ser,
         versioning: Mechanism::Pdv,
         choose: ChooseRule::Consistent,
         certifying_obj: CertifyingObjRule::ReadWriteSetUnlessLocalQuery,
@@ -207,6 +220,7 @@ pub fn p_store_la() -> ProtocolSpec {
 pub fn p_store_2pc() -> ProtocolSpec {
     ProtocolSpec {
         name: "P-Store-2PC",
+        criterion: Criterion::Ser,
         commitment: CommitmentKind::TwoPhaseCommit,
         ..p_store()
     }
@@ -220,6 +234,7 @@ pub fn p_store_2pc() -> ProtocolSpec {
 pub fn read_atomic() -> ProtocolSpec {
     ProtocolSpec {
         name: "ReadAtomic",
+        criterion: Criterion::Ra,
         versioning: Mechanism::Pdv,
         choose: ChooseRule::Consistent,
         commitment: CommitmentKind::TwoPhaseCommit,
@@ -238,6 +253,7 @@ pub fn read_atomic() -> ProtocolSpec {
 pub fn p_store_ab() -> ProtocolSpec {
     ProtocolSpec {
         name: "P-Store-AB",
+        criterion: Criterion::Ser,
         commitment: CommitmentKind::GroupCommunication {
             xcast: XcastKind::AbCast,
         },
@@ -251,6 +267,7 @@ pub fn p_store_ab() -> ProtocolSpec {
 pub fn p_store_paxos() -> ProtocolSpec {
     ProtocolSpec {
         name: "P-Store-Paxos",
+        criterion: Criterion::Ser,
         commitment: CommitmentKind::PaxosCommit,
         ..p_store()
     }
@@ -309,7 +326,14 @@ mod tests {
 
         // Wait-free queries (§6.1): everyone except P-Store.
         assert!(!p_store().wait_free_queries());
-        for p in [s_dur(), gmu(), serrano(), walter(), jessy_2pc(), read_committed()] {
+        for p in [
+            s_dur(),
+            gmu(),
+            serrano(),
+            walter(),
+            jessy_2pc(),
+            read_committed(),
+        ] {
             assert!(p.wait_free_queries(), "{} must have WFQ", p.name);
         }
     }

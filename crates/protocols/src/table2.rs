@@ -75,7 +75,10 @@ pub fn render() -> String {
             .original_loc
             .map(|n| n.to_string())
             .unwrap_or_else(|| "N/A".into());
-        out.push_str(&format!("{:<11} {:>14} {:>22}\n", r.protocol, r.gdur_loc, orig));
+        out.push_str(&format!(
+            "{:<11} {:>14} {:>22}\n",
+            r.protocol, r.gdur_loc, orig
+        ));
     }
     out
 }

@@ -24,7 +24,7 @@
 //! histories.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -218,7 +218,7 @@ struct ActorSlot<A: Actor> {
     dispatch_at: Option<SimTime>,
     crashed: bool,
     next_timer: u64,
-    canceled_timers: HashSet<u64>,
+    canceled_timers: BTreeSet<u64>,
 }
 
 /// Aggregate statistics about a finished (or in-flight) simulation run.
@@ -287,7 +287,7 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
             dispatch_at: None,
             crashed: false,
             next_timer: 0,
-            canceled_timers: HashSet::new(),
+            canceled_timers: BTreeSet::new(),
         });
         id
     }
@@ -376,7 +376,10 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
         }
         self.started = true;
         for i in 0..self.actors.len() {
-            self.push(SimTime::ZERO, EventKind::Arrival(ProcessId(i as u32), Job::Start));
+            self.push(
+                SimTime::ZERO,
+                EventKind::Arrival(ProcessId(i as u32), Job::Start),
+            );
         }
     }
 
@@ -504,8 +507,15 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
                         EventKind::Arrival(to, Job::Message { from: id, msg }),
                     );
                 }
-                Output::Timer { id: tid, tag, after } => {
-                    self.push(end + after, EventKind::Arrival(id, Job::Timer { id: tid, tag }));
+                Output::Timer {
+                    id: tid,
+                    tag,
+                    after,
+                } => {
+                    self.push(
+                        end + after,
+                        EventKind::Arrival(id, Job::Timer { id: tid, tag }),
+                    );
                 }
                 Output::CancelTimer(tid) => {
                     self.actors[id.index()].canceled_timers.insert(tid);

@@ -31,7 +31,10 @@ pub struct VersionRecord {
 }
 
 /// The transaction id used for seed (initial-load) versions.
-pub const SEED_TX: TxId = TxId { coord: u32::MAX, seq: 0 };
+pub const SEED_TX: TxId = TxId {
+    coord: u32::MAX,
+    seq: 0,
+};
 
 /// A replica-local multi-version store over the keys of the partitions the
 /// replica hosts.

@@ -7,13 +7,12 @@
 //! partition is replicated at an explicit list of sites.
 
 use gdur_net::SiteId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 use crate::types::Key;
 
 /// Identifies a partition (placement group of keys).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PartitionId(pub u32);
 
 impl PartitionId {
@@ -56,10 +55,7 @@ impl Placement {
 
     /// Disaster-prone placement: one partition per site, one replica each.
     pub fn disaster_prone(sites: usize) -> Self {
-        Placement::new(
-            sites,
-            (0..sites).map(|s| vec![SiteId(s as u16)]).collect(),
-        )
+        Placement::new(sites, (0..sites).map(|s| vec![SiteId(s as u16)]).collect())
     }
 
     /// Disaster-tolerant placement: one partition per site, replicated at

@@ -1,11 +1,10 @@
 //! Fundamental datastore identifiers: keys, values, transaction ids.
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies an object in the datastore.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Key(pub u64);
 
 impl fmt::Display for Key {
@@ -72,7 +71,7 @@ impl From<Bytes> for Value {
 
 /// Globally unique transaction identifier: coordinating process + local
 /// sequence number.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxId {
     /// Process id (dense index) of the coordinator.
     pub coord: u32,

@@ -15,13 +15,11 @@
 //! The *compatibility test* (used by `choose_cons`) takes two stamps and
 //! answers whether the two versions can belong to one consistent snapshot.
 
-use serde::{Deserialize, Serialize};
-
 use crate::vec::VersionVec;
 
 /// The versioning mechanism Θ selected by a protocol (realization point of
 /// Algorithm 1's `choose`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mechanism {
     /// Scalar timestamps: one monotone sequence per object.
     Ts,
@@ -78,7 +76,7 @@ impl std::fmt::Display for Mechanism {
 }
 
 /// The version number Θ(xᵢ) of one committed version.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Stamp {
     /// Scalar per-object sequence number.
     Ts(u64),
@@ -240,7 +238,10 @@ mod tests {
         let snap = VersionVec::from_entries(vec![3, 1]);
         assert!(vstamp(0, &[3, 0]).visible_in(&snap));
         assert!(!vstamp(0, &[4, 0]).visible_in(&snap));
-        assert!(vstamp(1, &[9, 1]).visible_in(&snap), "only origin entry matters");
+        assert!(
+            vstamp(1, &[9, 1]).visible_in(&snap),
+            "only origin entry matters"
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Fixed-dimension version vectors: the common representation behind the
 //! VC, VTS, GMV and PDV mechanisms.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -11,7 +10,7 @@ use std::fmt;
 /// Version vectors form a lattice under the pointwise order: `a <= b` iff
 /// every entry of `a` is `<=` the corresponding entry of `b`; the join
 /// ([`VersionVec::merge`]) is the pointwise maximum.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VersionVec {
     entries: Vec<u64>,
 }

@@ -52,12 +52,24 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// Workload A: uniform; queries read 2 keys; updates read 1 and write 1.
     pub fn a() -> Self {
-        WorkloadSpec { name: "A", dist: KeyDist::Uniform, ro_reads: 2, upd_reads: 1, upd_writes: 1 }
+        WorkloadSpec {
+            name: "A",
+            dist: KeyDist::Uniform,
+            ro_reads: 2,
+            upd_reads: 1,
+            upd_writes: 1,
+        }
     }
 
     /// Workload B: uniform; queries read 4 keys; updates read 2 and write 2.
     pub fn b() -> Self {
-        WorkloadSpec { name: "B", dist: KeyDist::Uniform, ro_reads: 4, upd_reads: 2, upd_writes: 2 }
+        WorkloadSpec {
+            name: "B",
+            dist: KeyDist::Uniform,
+            ro_reads: 4,
+            upd_reads: 2,
+            upd_writes: 2,
+        }
     }
 
     /// Workload C: like A but with zipfian key selection over `total_keys`.
@@ -181,7 +193,9 @@ impl TxSource for YcsbSource {
         if read_only {
             let local = self.local_query_ratio > 0.0 && rng.gen_bool(self.local_query_ratio);
             let keys = self.pick_keys(rng, self.spec.ro_reads, local);
-            TxnPlan { ops: keys.into_iter().map(|k| PlanOp::Read(Key(k))).collect() }
+            TxnPlan {
+                ops: keys.into_iter().map(|k| PlanOp::Read(Key(k))).collect(),
+            }
         } else {
             let n = self.spec.upd_reads + self.spec.upd_writes;
             let keys = self.pick_keys(rng, n, false);
@@ -255,8 +269,7 @@ mod tests {
         let mut src = YcsbSource::new(WorkloadSpec::b(), 10_000, 4, 0, 0.5);
         for _ in 0..500 {
             let plan = src.next_plan(&mut r);
-            let keys: std::collections::BTreeSet<_> =
-                plan.ops.iter().map(|o| o.key()).collect();
+            let keys: std::collections::BTreeSet<_> = plan.ops.iter().map(|o| o.key()).collect();
             assert_eq!(keys.len(), plan.ops.len());
         }
     }

@@ -37,12 +37,21 @@ impl Zipfian {
     /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "empty keyspace");
-        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&theta) && theta > 0.0,
+            "theta must be in (0,1)"
+        );
         let zetan = zeta(n, theta);
         let zeta2 = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipfian { n, theta, alpha, zetan, eta }
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
     }
 
     /// Number of items.

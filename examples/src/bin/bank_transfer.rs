@@ -11,7 +11,7 @@
 //! cargo run --release -p gdur-examples --bin bank_transfer
 //! ```
 
-use gdur_consistency::{Criterion, History};
+use gdur_consistency::{Criterion, CriterionCheck, History};
 use gdur_core::{Cluster, ClusterConfig, PlanOp, ProtocolSpec, TxSource, TxnPlan};
 use gdur_store::Key;
 use rand::rngs::SmallRng;
@@ -30,9 +30,13 @@ impl TxSource for BankSource {
             to = Key(rng.gen_range(0..ACCOUNTS));
         }
         if rng.gen_bool(0.6) {
-            TxnPlan { ops: vec![PlanOp::Update(from), PlanOp::Update(to)] }
+            TxnPlan {
+                ops: vec![PlanOp::Update(from), PlanOp::Update(to)],
+            }
         } else {
-            TxnPlan { ops: vec![PlanOp::Read(from), PlanOp::Read(to)] }
+            TxnPlan {
+                ops: vec![PlanOp::Read(from), PlanOp::Read(to)],
+            }
         }
     }
 }

@@ -61,7 +61,10 @@ fn main() {
              ({retained:.0}% retained)\n"
         );
         if name == "P-Store-AB" {
-            assert!(retained > 25.0, "quorum commitment should survive one crash");
+            assert!(
+                retained > 25.0,
+                "quorum commitment should survive one crash"
+            );
         } else {
             assert!(retained < 25.0, "2PC should block on the crashed replica");
         }

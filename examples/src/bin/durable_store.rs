@@ -22,7 +22,13 @@ fn main() {
     cfg.max_txns_per_client = Some(50);
     let total = cfg.keys_per_partition * 3;
     let mut cluster = Cluster::build(cfg, move |_, site| {
-        Box::new(YcsbSource::new(WorkloadSpec::a(), total, 3, site.0 as u64 % 3, 0.5))
+        Box::new(YcsbSource::new(
+            WorkloadSpec::a(),
+            total,
+            3,
+            site.0 as u64 % 3,
+            0.5,
+        ))
     });
     cluster.run_until_idle();
 
@@ -38,7 +44,9 @@ fn main() {
         let mut matched = 0u64;
         let mut diverged = 0u64;
         for key in (0..total).map(Key) {
-            let Some(live) = replica.store().latest(key) else { continue };
+            let Some(live) = replica.store().latest(key) else {
+                continue;
+            };
             if live.seq == 0 {
                 continue; // never updated: seed versions are not logged
             }

@@ -22,7 +22,7 @@ fn walter_paxos() -> ProtocolSpec {
     ProtocolSpec {
         name: "Walter-Paxos",
         commitment: CommitmentKind::PaxosCommit,
-        ..gdur_protocols::walter()
+        ..gdur_protocols::walter() // inherits Walter's PSI claim
     }
 }
 

@@ -12,8 +12,12 @@ fn main() {
     // 1. Pick a protocol from the library — Jessy2pc (Algorithm 10 of the
     //    paper): NMSI via partitioned dependence vectors and 2PC.
     let spec = gdur_protocols::jessy_2pc();
-    println!("protocol: {} (genuine: {}, wait-free queries: {})",
-        spec.name, spec.is_genuine(), spec.wait_free_queries());
+    println!(
+        "protocol: {} (genuine: {}, wait-free queries: {})",
+        spec.name,
+        spec.is_genuine(),
+        spec.wait_free_queries()
+    );
 
     // 2. Describe the deployment: 3 sites, disaster-prone placement,
     //    1000 keys per partition, one client per site running 30 txns.
@@ -25,8 +29,12 @@ fn main() {
     let mut cluster = Cluster::build(cfg, |client, _site| {
         let base = 100 * client as u64;
         Box::new(ScriptSource::new(vec![
-            TxnPlan { ops: vec![PlanOp::Read(Key(0)), PlanOp::Read(Key(1))] },
-            TxnPlan { ops: vec![PlanOp::Read(Key(2)), PlanOp::Update(Key(base + 3))] },
+            TxnPlan {
+                ops: vec![PlanOp::Read(Key(0)), PlanOp::Read(Key(1))],
+            },
+            TxnPlan {
+                ops: vec![PlanOp::Read(Key(2)), PlanOp::Update(Key(base + 3))],
+            },
         ]))
     });
 
@@ -34,11 +42,21 @@ fn main() {
     cluster.run_until_idle();
     let records = cluster.records();
     let committed = records.iter().filter(|r| r.committed).count();
-    println!("transactions: {} decided, {} committed", records.len(), committed);
+    println!(
+        "transactions: {} decided, {} committed",
+        records.len(),
+        committed
+    );
 
-    let upd: Vec<_> = records.iter().filter(|r| !r.read_only && r.committed).collect();
+    let upd: Vec<_> = records
+        .iter()
+        .filter(|r| !r.read_only && r.committed)
+        .collect();
     if !upd.is_empty() {
-        let avg_ms = upd.iter().map(|r| r.termination_latency().as_millis_f64()).sum::<f64>()
+        let avg_ms = upd
+            .iter()
+            .map(|r| r.termination_latency().as_millis_f64())
+            .sum::<f64>()
             / upd.len() as f64;
         println!("mean update termination latency: {avg_ms:.1} ms");
     }
@@ -51,7 +69,11 @@ fn main() {
 
     // 5. The store is observable: key 3 was updated by site 0's client.
     let site = cluster.placement().primary_of_key(Key(3));
-    let seq = cluster.replica(site).store().latest_seq(Key(3)).unwrap_or(0);
+    let seq = cluster
+        .replica(site)
+        .store()
+        .latest_seq(Key(3))
+        .unwrap_or(0);
     println!("key k3 is at version {seq} on {site}");
     assert!(committed > 0, "quickstart expects commits");
 }

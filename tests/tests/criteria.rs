@@ -2,7 +2,7 @@
 //! deployment, must uphold the consistency criterion the paper assigns it
 //! (§6) — in both the disaster-prone and disaster-tolerant placements.
 
-use gdur_consistency::{Criterion, History};
+use gdur_consistency::{Criterion, CriterionCheck, History};
 use gdur_core::{Cluster, ClusterConfig, ProtocolSpec};
 use gdur_store::Placement;
 use gdur_workload::{WorkloadSpec, YcsbSource};
@@ -83,8 +83,11 @@ criterion_tests! {
 /// write-write contention on a handful of keys.
 #[test]
 fn si_family_prevents_lost_updates_under_heavy_contention() {
-    for spec in [gdur_protocols::walter(), gdur_protocols::jessy_2pc(), gdur_protocols::serrano()]
-    {
+    for spec in [
+        gdur_protocols::walter(),
+        gdur_protocols::jessy_2pc(),
+        gdur_protocols::serrano(),
+    ] {
         let name = spec.name;
         let mut cfg = ClusterConfig::small(spec, 3);
         cfg.keys_per_partition = 4; // 12 keys total: brutal contention
@@ -92,13 +95,22 @@ fn si_family_prevents_lost_updates_under_heavy_contention() {
         cfg.max_txns_per_client = Some(25);
         cfg.record_history = true;
         let mut cluster = Cluster::build(cfg, move |_, site| {
-            Box::new(YcsbSource::new(WorkloadSpec::a(), 12, 3, site.0 as u64 % 3, 0.2))
+            Box::new(YcsbSource::new(
+                WorkloadSpec::a(),
+                12,
+                3,
+                site.0 as u64 % 3,
+                0.2,
+            ))
         });
         cluster.run_until_idle();
         let history = History::from_cluster(&cluster);
         gdur_consistency::check_first_committer_wins(&history)
             .unwrap_or_else(|v| panic!("{name} lost an update: {v}"));
         let aborted = cluster.records().iter().filter(|r| !r.committed).count();
-        assert!(aborted > 0, "{name}: contention scenario produced no aborts");
+        assert!(
+            aborted > 0,
+            "{name}: contention scenario produced no aborts"
+        );
     }
 }

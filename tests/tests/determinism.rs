@@ -10,7 +10,13 @@ fn run(spec: ProtocolSpec, seed: u64) -> Vec<TxnRecord> {
     cfg.max_txns_per_client = Some(25);
     cfg.seed = seed;
     let mut cluster = Cluster::build(cfg, move |_, site| {
-        Box::new(YcsbSource::new(WorkloadSpec::a(), 600, 3, site.0 as u64 % 3, 0.8))
+        Box::new(YcsbSource::new(
+            WorkloadSpec::a(),
+            600,
+            3,
+            site.0 as u64 % 3,
+            0.8,
+        ))
     });
     cluster.run_until_idle();
     let mut records = cluster.records();
@@ -20,8 +26,11 @@ fn run(spec: ProtocolSpec, seed: u64) -> Vec<TxnRecord> {
 
 #[test]
 fn identical_seeds_identical_histories() {
-    for spec in [gdur_protocols::jessy_2pc(), gdur_protocols::p_store(), gdur_protocols::serrano()]
-    {
+    for spec in [
+        gdur_protocols::jessy_2pc(),
+        gdur_protocols::p_store(),
+        gdur_protocols::serrano(),
+    ] {
         let a = run(spec.clone(), 99);
         let b = run(spec, 99);
         assert_eq!(a, b);

@@ -16,7 +16,13 @@ fn wal_replay_reproduces_every_replica_store() {
     cfg.max_txns_per_client = Some(40);
     let total = cfg.keys_per_partition * 3;
     let mut cluster = Cluster::build(cfg, move |_, site| {
-        Box::new(YcsbSource::new(WorkloadSpec::a(), total, 3, site.0 as u64 % 3, 0.3))
+        Box::new(YcsbSource::new(
+            WorkloadSpec::a(),
+            total,
+            3,
+            site.0 as u64 % 3,
+            0.3,
+        ))
     });
     cluster.run_until_idle();
 
@@ -30,7 +36,9 @@ fn wal_replay_reproduces_every_replica_store() {
         // Every key that advanced beyond its seed must recover to the same
         // latest version.
         for key in (0..total).map(Key) {
-            let Some(live_seq) = replica.store().latest_seq(key) else { continue };
+            let Some(live_seq) = replica.store().latest_seq(key) else {
+                continue;
+            };
             if live_seq == 0 {
                 continue; // seed-only keys are not logged
             }
@@ -54,7 +62,13 @@ fn persistence_costs_cpu_but_preserves_results() {
         cfg.keys_per_partition = 200;
         cfg.max_txns_per_client = Some(30);
         let mut cluster = Cluster::build(cfg, move |_, site| {
-            Box::new(YcsbSource::new(WorkloadSpec::a(), 400, 2, site.0 as u64 % 2, 0.5))
+            Box::new(YcsbSource::new(
+                WorkloadSpec::a(),
+                400,
+                2,
+                site.0 as u64 % 2,
+                0.5,
+            ))
         });
         cluster.run_until_idle();
         cluster

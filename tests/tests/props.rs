@@ -1,43 +1,29 @@
-//! End-to-end property tests: random small deployments of random
-//! protocols must terminate every transaction and uphold the protocol's
-//! criterion.
+//! End-to-end randomized (seeded, deterministic) tests: random small
+//! deployments of random protocols must terminate every transaction and
+//! uphold the protocol's claimed criterion.
 
-use gdur_consistency::{Criterion, History};
+use gdur_consistency::{CriterionCheck, History};
 use gdur_core::{Cluster, ClusterConfig};
 use gdur_store::Placement;
 use gdur_workload::{WorkloadSpec, YcsbSource};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn criterion_of(name: &str) -> Criterion {
-    match name {
-        "P-Store" | "S-DUR" | "P-Store-la" | "P-Store-2PC" | "P-Store-AB" | "P-Store-Paxos" => {
-            Criterion::Ser
-        }
-        "GMU" => Criterion::Us,
-        "Serrano" => Criterion::Si,
-        "Walter" => Criterion::Psi,
-        "Jessy2pc" => Criterion::Nmsi,
-        "ReadAtomic" => Criterion::Ra,
-        _ => Criterion::Rc,
-    }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn any_protocol_any_small_world_is_live_and_correct(
-        proto_idx in 0usize..13,
-        sites in 2usize..5,
-        dt in any::<bool>(),
-        keys_per_partition in 20u64..200,
-        ro_pct in 0u8..=10,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn any_protocol_any_small_world_is_live_and_correct() {
+    let mut gen = SmallRng::seed_from_u64(0x6d07);
+    for case in 0..12 {
         let all = gdur_protocols::all_protocols();
-        let spec = all[proto_idx % all.len()].clone();
+        let proto_idx = gen.gen_range(0usize..all.len());
+        let sites = gen.gen_range(2usize..5);
+        let dt = gen.gen_bool(0.5);
+        let keys_per_partition = gen.gen_range(20u64..200);
+        let ro_pct = gen.gen_range(0u32..11) as u8;
+        let seed = gen.gen_range(0u64..10_000);
+
+        let spec = all[proto_idx].clone();
         let name = spec.name;
-        let criterion = criterion_of(name);
+        let criterion = spec.criterion;
         let mut cfg = ClusterConfig::small(spec, sites);
         if dt {
             cfg.placement = Placement::disaster_tolerant(sites);
@@ -61,17 +47,14 @@ proptest! {
         });
         cluster.run_until_idle();
         let records = cluster.records();
-        prop_assert_eq!(
+        assert_eq!(
             records.len(),
             sites * 2 * 15,
-            "{} (sites={}, dt={}, seed={}): some transactions never decided",
-            name, sites, dt, seed
+            "case {case}: {name} (sites={sites}, dt={dt}, seed={seed}): some transactions never decided",
         );
         let history = History::from_cluster(&cluster);
         if let Err(v) = criterion.check(&history) {
-            return Err(TestCaseError::fail(format!(
-                "{name} violated {criterion:?} (sites={sites}, dt={dt}, seed={seed}): {v}"
-            )));
+            panic!("{name} violated {criterion:?} (sites={sites}, dt={dt}, seed={seed}): {v}");
         }
     }
 }

@@ -23,11 +23,23 @@ fn point(exp: &Experiment, clients: usize) -> gdur_harness::PointResult {
 #[test]
 fn pstore_queries_cost_a_wan_round() {
     let jessy = point(
-        &Experiment::new(gdur_protocols::jessy_2pc(), WorkloadKind::A, 0.9, 4, PlacementKind::Dp),
+        &Experiment::new(
+            gdur_protocols::jessy_2pc(),
+            WorkloadKind::A,
+            0.9,
+            4,
+            PlacementKind::Dp,
+        ),
         16,
     );
     let pstore = point(
-        &Experiment::new(gdur_protocols::p_store(), WorkloadKind::A, 0.9, 4, PlacementKind::Dp),
+        &Experiment::new(
+            gdur_protocols::p_store(),
+            WorkloadKind::A,
+            0.9,
+            4,
+            PlacementKind::Dp,
+        ),
         16,
     );
     assert!(
@@ -77,11 +89,23 @@ fn gmu_ablation_ordering_holds() {
 #[test]
 fn two_pc_beats_amcast_latency_in_dp() {
     let am = point(
-        &Experiment::new(gdur_protocols::p_store(), WorkloadKind::A, 0.9, 4, PlacementKind::Dp),
+        &Experiment::new(
+            gdur_protocols::p_store(),
+            WorkloadKind::A,
+            0.9,
+            4,
+            PlacementKind::Dp,
+        ),
         16,
     );
     let tpc = point(
-        &Experiment::new(gdur_protocols::p_store_2pc(), WorkloadKind::A, 0.9, 4, PlacementKind::Dp),
+        &Experiment::new(
+            gdur_protocols::p_store_2pc(),
+            WorkloadKind::A,
+            0.9,
+            4,
+            PlacementKind::Dp,
+        ),
         16,
     );
     assert!(
@@ -102,12 +126,24 @@ fn contended_dt_2pc_aborts_exceed_amcast_at_saturation() {
     s.warmup = SimDuration::from_millis(500);
     s.measure = SimDuration::from_secs(1);
     let am = run_point(
-        &Experiment::new(gdur_protocols::p_store(), WorkloadKind::C, 0.9, 6, PlacementKind::Dt),
+        &Experiment::new(
+            gdur_protocols::p_store(),
+            WorkloadKind::C,
+            0.9,
+            6,
+            PlacementKind::Dt,
+        ),
         &s,
         2048,
     );
     let tpc = run_point(
-        &Experiment::new(gdur_protocols::p_store_2pc(), WorkloadKind::C, 0.9, 6, PlacementKind::Dt),
+        &Experiment::new(
+            gdur_protocols::p_store_2pc(),
+            WorkloadKind::C,
+            0.9,
+            6,
+            PlacementKind::Dt,
+        ),
         &s,
         2048,
     );

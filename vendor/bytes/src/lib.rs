@@ -1,0 +1,389 @@
+//! Offline stand-in for the subset of the [`bytes` 1.x](https://docs.rs/bytes)
+//! API this workspace uses, so the build never touches a registry.
+//!
+//! [`Bytes`] is a cheaply-cloneable view into shared immutable storage
+//! (`Arc<[u8]>` plus a window); [`BytesMut`] is a growable buffer that
+//! freezes into a [`Bytes`]. The [`Buf`]/[`BufMut`] traits cover the
+//! little-endian accessors the WAL codec needs.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A cheaply-cloneable, sliceable view of immutable bytes.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from_vec(Vec::new())
+    }
+
+    /// Wraps a static slice (copied; upstream is zero-copy, which callers
+    /// cannot observe through this API).
+    pub fn from_static(b: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(b)
+    }
+
+    /// Copies `b` into a fresh buffer.
+    pub fn copy_from_slice(b: &[u8]) -> Self {
+        Bytes::from_vec(b.to_vec())
+    }
+
+    fn from_vec(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Splits off and returns everything from `at` on; `self` keeps the head.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_off out of bounds");
+        let tail = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + at,
+            end: self.end,
+        };
+        self.end = self.start + at;
+        tail
+    }
+
+    /// A sub-view of `self` over the given range.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes::from_vec(v)
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(b: &'static [u8]) -> Self {
+        Bytes::from_static(b)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for e in std::ascii::escape_default(b) {
+                write!(f, "{}", e as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends `b`.
+    pub fn extend_from_slice(&mut self, b: &[u8]) {
+        self.data.extend_from_slice(b);
+    }
+
+    /// Empties the buffer.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let tail = self.data.split_off(at);
+        let head = std::mem::replace(&mut self.data, tail);
+        BytesMut { data: head }
+    }
+
+    /// Splits off and returns everything from `at` on; `self` keeps the head.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_off out of bounds");
+        BytesMut {
+            data: self.data.split_off(at),
+        }
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        Bytes::copy_from_slice(&self.data).fmt(f)
+    }
+}
+
+/// Read access to a byte cursor.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consumes and returns the next `n` bytes as a slice-backed copy.
+    fn take_bytes(&mut self, n: usize) -> Vec<u8>;
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+
+    /// Consumes four bytes as a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let b = self.take_bytes(4);
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Consumes eight bytes as a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let b = self.take_bytes(8);
+        u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> Vec<u8> {
+        assert!(n <= self.len(), "buffer underflow");
+        self.split_to(n).to_vec()
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> Vec<u8> {
+        assert!(n <= self.len(), "buffer underflow");
+        let (head, tail) = std::mem::take(self).split_at(n);
+        *self = tail;
+        head.to_vec()
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, b: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, b: &[u8]) {
+        self.data.extend_from_slice(b);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, b: &[u8]) {
+        self.extend_from_slice(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_views_share_storage() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+        let tail = b.split_off(1);
+        assert_eq!(&b[..], &[3]);
+        assert_eq!(&tail[..], &[4, 5]);
+    }
+
+    #[test]
+    fn buf_accessors_roundtrip() {
+        let mut m = BytesMut::new();
+        m.put_u8(7);
+        m.put_u32_le(0xdead_beef);
+        m.put_u64_le(42);
+        m.put_slice(b"xy");
+        let mut b = m.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 0xdead_beef);
+        assert_eq!(b.get_u64_le(), 42);
+        assert_eq!(&b[..], b"xy");
+        assert!(b.has_remaining());
+        assert_eq!(b.remaining(), 2);
+    }
+
+    #[test]
+    fn slice_is_a_window() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4]);
+        assert_eq!(&b.slice(1..4)[..], &[1, 2, 3]);
+        assert_eq!(&b.slice(..)[..], &[0, 1, 2, 3, 4]);
+        assert_eq!(&b.slice(2..)[..], &[2, 3, 4]);
+    }
+
+    #[test]
+    fn bytes_mut_indexing() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"abc");
+        m[1] ^= 0xff;
+        assert_eq!(m[1], b'b' ^ 0xff);
+    }
+}
