@@ -21,4 +21,7 @@ cargo test -q --release
 echo "==> detlint (static + dynamic determinism lint)"
 cargo run -q --release -p gdur-analysis --bin detlint -- --dynamic
 
+echo "==> obs_smoke (traced run: schema, convoy/abort invariants, golden diff)"
+cargo run -q --release -p gdur-bench --bin obs_smoke
+
 echo "==> ci: all checks passed"

@@ -102,6 +102,7 @@ pub const DETERMINISTIC_ROOTS: &[&str] = &[
     "crates/core/src",
     "crates/gc/src",
     "crates/protocols/src",
+    "crates/obs/src",
 ];
 
 /// Scans the [`DETERMINISTIC_ROOTS`] under `workspace_root`, returning

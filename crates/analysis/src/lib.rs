@@ -46,7 +46,7 @@ pub fn verify_cluster(spec: &ProtocolSpec, cluster: &Cluster) -> Result<(), Viol
     spec.criterion.check(&History::from_cluster(cluster))
 }
 
-fn run_small(spec: ProtocolSpec, seed: u64) -> Vec<TxnRecord> {
+fn run_small(spec: ProtocolSpec, seed: u64) -> (Vec<TxnRecord>, String) {
     let sites = 3;
     let mut cfg = ClusterConfig::small(spec, sites);
     cfg.keys_per_partition = 50;
@@ -63,20 +63,22 @@ fn run_small(spec: ProtocolSpec, seed: u64) -> Vec<TxnRecord> {
             0.5,
         ))
     });
+    let trace = gdur_obs::TraceHandle::new();
+    cluster.attach_obs(trace.sink());
     cluster.run_until_idle();
-    cluster.records()
+    (cluster.records(), gdur_obs::jsonl::export(&trace.take()))
 }
 
 /// The dynamic half of the determinism lint: runs every library protocol
 /// twice on a small contended workload with the same seed and demands
-/// bit-identical transaction records. A source construct the static scan
-/// missed (e.g. nondeterministic scheduling snuck into the kernel) shows
-/// up here as a history mismatch.
+/// bit-identical transaction records *and* trace streams. A source
+/// construct the static scan missed (e.g. nondeterministic scheduling snuck
+/// into the kernel) shows up here as a history or trace mismatch.
 pub fn same_seed_cross_check(seed: u64) -> Result<(), String> {
     for spec in gdur_protocols::all_protocols() {
         let name = spec.name;
-        let a = run_small(spec.clone(), seed);
-        let b = run_small(spec, seed);
+        let (a, trace_a) = run_small(spec.clone(), seed);
+        let (b, trace_b) = run_small(spec, seed);
         if a.len() != b.len() {
             return Err(format!(
                 "{name}: runs with seed {seed} decided {} vs {} transactions",
@@ -91,6 +93,17 @@ pub fn same_seed_cross_check(seed: u64) -> Result<(), String> {
                      ({x:?} vs {y:?})"
                 ));
             }
+        }
+        if trace_a != trace_b {
+            let first = trace_a
+                .lines()
+                .zip(trace_b.lines())
+                .position(|(x, y)| x != y)
+                .unwrap_or(trace_a.lines().count().min(trace_b.lines().count()));
+            return Err(format!(
+                "{name}: trace streams of identically-seeded runs diverge at \
+                 event #{first} (seed {seed})"
+            ));
         }
     }
     Ok(())

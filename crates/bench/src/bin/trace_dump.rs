@@ -1,0 +1,73 @@
+//! Dumps the full JSONL trace of one traced sweep point to
+//! `bench_results/trace_<protocol>.jsonl` — the quick-start path for
+//! inspecting a protocol's lifecycle events with `jq`/`grep`.
+//!
+//! Usage:
+//! `cargo run --release -p gdur-bench --bin trace_dump [-- <protocol>] [--clients N]`
+//! (default protocol `P-Store`; see `gdur_protocols::by_name` for names).
+
+use std::process::exit;
+
+use gdur_harness::{run_point_traced, Experiment, PlacementKind, Scale, WorkloadKind};
+use gdur_obs::jsonl;
+use gdur_sim::SimDuration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("P-Store");
+    let clients = args
+        .iter()
+        .position(|a| a == "--clients")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let Some(spec) = gdur_protocols::by_name(name) else {
+        eprintln!("trace_dump: unknown protocol {name:?}; known protocols:");
+        for p in gdur_protocols::all_protocols() {
+            eprintln!("  {}", p.name);
+        }
+        exit(1);
+    };
+
+    let scale = Scale {
+        keys_per_partition: 1_000,
+        value_size: 64,
+        warmup: SimDuration::from_millis(300),
+        measure: SimDuration::from_secs(1),
+        client_sweep: vec![clients],
+        cores: 4,
+        seed: 7,
+    };
+    let exp = Experiment::new(spec, WorkloadKind::A, 0.9, 3, PlacementKind::Dp);
+    let (point, breakdown, events) = run_point_traced(&exp, &scale, clients);
+
+    let trace = jsonl::export(&events);
+    if let Err(e) = jsonl::validate(&trace) {
+        eprintln!("trace_dump: exported trace violates its schema: {e}");
+        exit(1);
+    }
+    let slug: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let path = format!("bench_results/trace_{slug}.jsonl");
+    std::fs::create_dir_all("bench_results").expect("create bench_results");
+    std::fs::write(&path, &trace).expect("write trace");
+    println!(
+        "{name}: {} events → {path} ({} committed, {} aborted in window, {:.0} tps)",
+        events.len(),
+        breakdown.committed,
+        breakdown.aborted,
+        point.throughput_tps
+    );
+}

@@ -1,6 +1,7 @@
 //! Closed-loop client actor: plays transaction plans against its
 //! coordinator replica and records per-transaction latency metrics.
 
+use gdur_obs::AbortCause;
 use gdur_sim::{Context, ProcessId, SimDuration, SimTime};
 use gdur_store::{TxId, Value};
 use rand::rngs::SmallRng;
@@ -24,6 +25,8 @@ pub struct TxnRecord {
     pub committed: bool,
     /// True if the transaction wrote nothing.
     pub read_only: bool,
+    /// Why the transaction aborted (`None` iff `committed`).
+    pub cause: Option<AbortCause>,
 }
 
 impl TxnRecord {
@@ -201,7 +204,7 @@ impl gdur_sim::Actor for Client {
             ClientReply::Began | ClientReply::ReadDone { .. } | ClientReply::UpdateDone { .. } => {
                 self.send_next_op(ctx);
             }
-            ClientReply::Outcome { committed } => {
+            ClientReply::Outcome { committed, cause } => {
                 let r = self.current.take().expect("checked above");
                 self.records.push(TxnRecord {
                     tx: r.tx,
@@ -210,6 +213,7 @@ impl gdur_sim::Actor for Client {
                     decided_at: ctx.now(),
                     committed,
                     read_only: r.read_only,
+                    cause,
                 });
                 self.begin_next(ctx);
             }

@@ -39,6 +39,12 @@ pub struct ClusterConfig {
     pub record_history: bool,
     /// Attach the durable write-ahead log to every replica.
     pub persistence: bool,
+    /// Abort submitted transactions undecided after this bound (`None` =
+    /// wait forever, the crash-free default).
+    pub vote_timeout: Option<SimDuration>,
+    /// Abort after this many read-failover attempts (`None` = retry
+    /// forever, the default).
+    pub max_read_attempts: Option<usize>,
     /// RNG seed for the whole deployment.
     pub seed: u64,
 }
@@ -58,6 +64,8 @@ impl ClusterConfig {
             cores_per_replica: 4,
             record_history: true,
             persistence: false,
+            vote_timeout: None,
+            max_read_attempts: None,
             seed: 42,
         }
     }
@@ -124,6 +132,8 @@ impl Cluster {
                 read_target,
                 costs: cfg.costs,
                 read_timeout: SimDuration::from_millis(250),
+                vote_timeout: cfg.vote_timeout,
+                max_read_attempts: cfg.max_read_attempts,
                 persistence: cfg.persistence,
                 record_history: cfg.record_history,
             };
@@ -188,6 +198,18 @@ impl Cluster {
         &mut self.sim
     }
 
+    /// Attaches an observability sink; every subsequent event of the run is
+    /// recorded through it. Tracing never consumes virtual time or
+    /// randomness, so attaching a sink cannot perturb the simulation.
+    pub fn attach_obs(&mut self, sink: Box<dyn gdur_sim::ObsSink>) {
+        self.sim.attach_obs(sink);
+    }
+
+    /// The inter-site topology of the deployment (for WAN/LAN accounting).
+    pub fn topology(&self) -> &Topology {
+        self.sim.latency_model().topology()
+    }
+
     /// Read access to the underlying simulation.
     pub fn sim(&self) -> &Simulation<Node, GeoLatency> {
         &self.sim
@@ -246,6 +268,10 @@ impl Cluster {
             total.remote_reads_served += s.remote_reads_served;
             total.applies += s.applies;
             total.propagates_sent += s.propagates_sent;
+            total.aborted_cert_conflict += s.aborted_cert_conflict;
+            total.aborted_vote_timeout += s.aborted_vote_timeout;
+            total.aborted_read_impossible += s.aborted_read_impossible;
+            total.aborted_crash += s.aborted_crash;
         }
         total
     }

@@ -31,6 +31,7 @@ mod txn;
 
 pub use client::{Client, TxnRecord};
 pub use cluster::{Cluster, ClusterConfig};
+pub use gdur_obs::AbortCause;
 pub use lint::{Diagnostic, Severity};
 pub use messages::{ClientOp, ClientReply, Msg, TermPayload};
 pub use node::Node;

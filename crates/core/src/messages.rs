@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use gdur_gc::GcMsg;
+use gdur_obs::AbortCause;
 use gdur_sim::{ProcessId, WireSize};
 use gdur_store::{Key, TxId, Value};
 use gdur_versioning::{Stamp, VersionVec};
@@ -53,6 +54,8 @@ pub enum ClientReply {
     Outcome {
         /// True if the transaction committed.
         committed: bool,
+        /// Why it aborted (`None` iff `committed`).
+        cause: Option<AbortCause>,
     },
 }
 
@@ -211,6 +214,21 @@ impl WireSize for Msg {
             }
             Msg::PaxosAccept { .. } | Msg::PaxosAccepted { .. } => HDR + 16,
             Msg::Propagate { .. } => HDR + 16,
+        }
+    }
+
+    fn wire_label(&self) -> &'static str {
+        match self {
+            Msg::Client { .. } => "client",
+            Msg::Reply { .. } => "reply",
+            Msg::ReadReq { .. } => "read_req",
+            Msg::ReadRep { .. } => "read_rep",
+            Msg::Gc(m) => m.wire_label(),
+            Msg::Vote { .. } => "vote",
+            Msg::Decide { .. } => "decide",
+            Msg::PaxosAccept { .. } => "paxos_accept",
+            Msg::PaxosAccepted { .. } => "paxos_accepted",
+            Msg::Propagate { .. } => "propagate",
         }
     }
 }

@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use gdur_gc::{GcEvent, GroupComm, XcastKind};
 use gdur_net::SiteId;
+use gdur_obs::{labels, tx_code, AbortCause};
 use gdur_sim::{Context, ProcessId, SimDuration, SimTime};
 use gdur_store::{Key, MultiVersionStore, Placement, TxId, Value};
 use gdur_versioning::{Mechanism, Stamp, VersionVec};
@@ -41,6 +42,13 @@ pub struct ReplicaConfig {
     /// replica (Algorithm 1's failover, "not covered" in the paper's
     /// pseudo-code but described in §4).
     pub read_timeout: SimDuration,
+    /// Abort a submitted transaction whose votes have not produced a
+    /// decision within this bound (`None` = wait forever, the paper's
+    /// crash-free behaviour).
+    pub vote_timeout: Option<SimDuration>,
+    /// Give up on a read after this many failover attempts and abort the
+    /// transaction (`None` = re-iterate forever).
+    pub max_read_attempts: Option<usize>,
     /// Attach the durable write-ahead log (§5.3 crash-recovery model);
     /// the paper's experiments, like our performance runs, leave it off.
     pub persistence: bool,
@@ -101,6 +109,14 @@ pub struct ReplicaStats {
     pub applies: u64,
     /// Background propagation messages sent.
     pub propagates_sent: u64,
+    /// Coordinated aborts caused by a negative certification vote.
+    pub aborted_cert_conflict: u64,
+    /// Coordinated aborts caused by the vote timeout expiring.
+    pub aborted_vote_timeout: u64,
+    /// Coordinated aborts caused by an unserveable read.
+    pub aborted_read_impossible: u64,
+    /// Coordinated aborts caused by a crash (coordinator-side).
+    pub aborted_crash: u64,
 }
 
 /// Execution-phase state of a transaction at its coordinator.
@@ -217,6 +233,8 @@ pub struct Replica {
     read_timers: BTreeMap<u64, TxId>,
     /// Termination-retry timers (2PC/Paxos crash-recovery retransmission).
     term_timers: BTreeMap<u64, TxId>,
+    /// Vote-timeout timers armed at submit (when `cfg.vote_timeout` is on).
+    vote_timers: BTreeMap<u64, TxId>,
     next_timer_tag: u64,
     /// Sites suspected crashed (eventually-perfect failure detector
     /// heuristic: suspect after a read timeout, trust again on any
@@ -265,6 +283,7 @@ impl Replica {
             done: std::collections::BTreeSet::new(),
             read_timers: BTreeMap::new(),
             term_timers: BTreeMap::new(),
+            vote_timers: BTreeMap::new(),
             next_timer_tag: 0,
             suspected: std::collections::BTreeSet::new(),
             stats: ReplicaStats::default(),
@@ -422,6 +441,7 @@ impl Replica {
         ctx.consume(costs.per_message);
         match op {
             ClientOp::Begin => {
+                ctx.trace(labels::TXN_BEGIN, tx_code(tx.coord, tx.seq), 0);
                 let snapshot = self.fresh_snapshot();
                 self.coord.insert(
                     tx,
@@ -550,6 +570,11 @@ impl Replica {
     /// Issues (or re-issues) a remote read for `key`, picking the replica
     /// by attempt number with failure suspicion.
     fn send_remote_read(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, key: Key, attempt: usize) {
+        ctx.trace(
+            labels::TXN_READ_REMOTE,
+            tx_code(tx.coord, tx.seq),
+            attempt as u64,
+        );
         let target_site = self.read_target_site(key, attempt);
         let target = self.pid_of_site(target_site);
         let Some(t) = self.coord.get(&tx) else { return };
@@ -608,6 +633,17 @@ impl Replica {
             }
             return;
         }
+        if let Some(tx) = self.vote_timers.remove(&tag) {
+            let undecided = self
+                .coord
+                .get(&tx)
+                .map(|t| t.decided.is_none())
+                .unwrap_or(false);
+            if undecided {
+                self.decide_and_announce(ctx, tx, false, Some(AbortCause::VoteTimeout));
+            }
+            return;
+        }
         let Some(tx) = self.read_timers.remove(&tag) else {
             return;
         };
@@ -622,7 +658,17 @@ impl Replica {
         let attempt = prev_attempt + 1;
         let timed_out = self.read_target_site(key, prev_attempt);
         self.suspected.insert(timed_out);
-        self.send_remote_read(ctx, tx, key, attempt);
+        if self.cfg.max_read_attempts.is_some_and(|max| attempt >= max) {
+            // The read cannot be served: every failover attempt is
+            // exhausted, so the transaction aborts instead of re-iterating
+            // forever.
+            let t = self.coord.get_mut(&tx).expect("present");
+            t.pending_read = None;
+            t.read_timer = None;
+            self.finish_coord(ctx, tx, false, Some(AbortCause::ReadImpossible));
+        } else {
+            self.send_remote_read(ctx, tx, key, attempt);
+        }
         // New suspicion may unwedge orphaned queries at the queue head.
         self.process_queue(ctx);
     }
@@ -801,10 +847,21 @@ impl Replica {
             let t = self.coord.get(&tx).expect("present");
             self.certifying_keys(t)
         };
+        ctx.trace(
+            labels::TXN_SUBMIT,
+            tx_code(tx.coord, tx.seq),
+            certifying.len() as u64,
+        );
         if certifying.is_empty() {
             // Commit without synchronization (wait-free queries).
-            self.finish_coord(ctx, tx, true);
+            self.finish_coord(ctx, tx, true, None);
             return;
+        }
+        if let Some(vt) = self.cfg.vote_timeout {
+            let tag = self.next_timer_tag;
+            self.next_timer_tag += 1;
+            self.vote_timers.insert(tag, tx);
+            ctx.set_timer(vt, tag);
         }
         let t = self.coord.get_mut(&tx).expect("present");
         t.certifying = certifying.clone();
@@ -920,6 +977,11 @@ impl Replica {
         );
         if gc_mode {
             self.q.push_back(tx);
+            ctx.trace(
+                labels::CERT_ENQUEUE,
+                tx_code(tx.coord, tx.seq),
+                self.q.len() as u64,
+            );
         }
         if !local_decide {
             self.index_insert(&payload);
@@ -1088,6 +1150,7 @@ impl Replica {
             p.reserved = clocks.clone();
         }
         self.stats.votes_cast += 1;
+        ctx.trace(labels::TXN_VOTE, tx_code(tx.coord, tx.seq), yes as u64);
         self.send_vote(ctx, &payload, yes, clocks);
     }
 
@@ -1114,6 +1177,7 @@ impl Replica {
             p.reserved = clocks.clone();
         }
         self.stats.votes_cast += 1;
+        ctx.trace(labels::TXN_VOTE, tx_code(tx.coord, tx.seq), yes as u64);
         // 2PC votes go to the coordinator only.
         if payload.coord == self.me {
             self.record_vote(ctx, tx, self.cfg.site, yes, clocks);
@@ -1196,7 +1260,12 @@ impl Replica {
         }
         self.process_queue(ctx);
         if payload.coord == self.me {
-            self.finish_coord(ctx, tx, commit);
+            self.finish_coord(
+                ctx,
+                tx,
+                commit,
+                (!commit).then_some(AbortCause::CertificationConflict),
+            );
         }
     }
 
@@ -1267,7 +1336,12 @@ impl Replica {
         if self.cfg.spec.commitment == CommitmentKind::PaxosCommit {
             self.start_paxos_round(ctx, tx, commit);
         } else {
-            self.decide_and_announce(ctx, tx, commit);
+            self.decide_and_announce(
+                ctx,
+                tx,
+                commit,
+                (!commit).then_some(AbortCause::CertificationConflict),
+            );
         }
     }
 
@@ -1296,13 +1370,24 @@ impl Replica {
             return;
         };
         if t.decided.is_none() && t.paxos_acks > n / 2 {
-            self.decide_and_announce(ctx, tx, commit);
+            self.decide_and_announce(
+                ctx,
+                tx,
+                commit,
+                (!commit).then_some(AbortCause::CertificationConflict),
+            );
         }
     }
 
     /// Coordinator decision: notify the client, announce to participants
     /// that do not learn the outcome from votes.
-    fn decide_and_announce(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, commit: bool) {
+    fn decide_and_announce(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        tx: TxId,
+        commit: bool,
+        cause: Option<AbortCause>,
+    ) {
         let t = self.coord.get(&tx).expect("deciding an unknown txn");
         let certifying = t.certifying.clone();
         // The merged vote-clock reservations: complete commit-vector
@@ -1314,8 +1399,17 @@ impl Replica {
             .unwrap_or_default();
         let announce_sites: BTreeSet<SiteId> = match self.cfg.spec.commitment {
             // Every GC participant receives every vote and decides locally
-            // (Figure 2-a); no explicit decision fan-out is needed.
-            CommitmentKind::GroupCommunication { .. } => BTreeSet::new(),
+            // (Figure 2-a); no explicit decision fan-out is needed — except
+            // for a vote-timeout abort, which by definition has no votes to
+            // learn the outcome from, so it must be fanned out or the
+            // participants' queues stay wedged on the undecided entry.
+            CommitmentKind::GroupCommunication { .. } => {
+                if cause == Some(AbortCause::VoteTimeout) {
+                    self.sites_of_keys(certifying.iter())
+                } else {
+                    BTreeSet::new()
+                }
+            }
             CommitmentKind::TwoPhaseCommit | CommitmentKind::PaxosCommit => {
                 self.sites_of_keys(certifying.iter())
             }
@@ -1336,11 +1430,19 @@ impl Replica {
         }
         // Apply the local participant's copy, if any.
         self.on_decide(ctx, tx, commit, clocks);
-        self.finish_coord(ctx, tx, commit);
+        self.finish_coord(ctx, tx, commit, cause);
     }
 
     /// Final coordinator bookkeeping: reply to the client, record history.
-    fn finish_coord(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, commit: bool) {
+    /// `cause` names why an abort happened (defaulting to certification
+    /// conflict); it partitions `stats.aborted` exactly.
+    fn finish_coord(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        tx: TxId,
+        commit: bool,
+        cause: Option<AbortCause>,
+    ) {
         let Some(t) = self.coord.get_mut(&tx) else {
             return;
         };
@@ -1349,16 +1451,31 @@ impl Replica {
         }
         t.decided = Some(commit);
         self.stats.coordinated += 1;
+        let cause = (!commit).then_some(cause.unwrap_or(AbortCause::CertificationConflict));
         if commit {
             self.stats.committed += 1;
         } else {
             self.stats.aborted += 1;
+            match cause.expect("set on abort") {
+                AbortCause::CertificationConflict => self.stats.aborted_cert_conflict += 1,
+                AbortCause::VoteTimeout => self.stats.aborted_vote_timeout += 1,
+                AbortCause::ReadImpossible => self.stats.aborted_read_impossible += 1,
+                AbortCause::Crash => self.stats.aborted_crash += 1,
+            }
+        }
+        let code = tx_code(tx.coord, tx.seq);
+        ctx.trace(labels::TXN_DECIDE, code, commit as u64);
+        if let Some(c) = cause {
+            ctx.trace(labels::TXN_ABORT, code, c.code());
         }
         ctx.send(
             t.client,
             Msg::Reply {
                 tx,
-                reply: ClientReply::Outcome { committed: commit },
+                reply: ClientReply::Outcome {
+                    committed: commit,
+                    cause,
+                },
             },
         );
         if self.cfg.record_history {
@@ -1510,6 +1627,13 @@ impl Replica {
                 if let Some(site) = self.try_site_of_pid(p.payload.coord) {
                     if self.suspected.contains(&site) {
                         self.part.get_mut(&head).expect("present").outcome = Some(false);
+                        // An orphan discard, not a coordinated abort: kept
+                        // out of the coordinator-side cause partition.
+                        ctx.trace(
+                            labels::CERT_ORPHAN,
+                            tx_code(head.coord, head.seq),
+                            AbortCause::Crash.code(),
+                        );
                     }
                 }
             }
@@ -1528,6 +1652,11 @@ impl Replica {
                 self.resolve_reservations(&reserved);
             }
             self.q.pop_front();
+            ctx.trace(
+                labels::CERT_DEQUEUE,
+                tx_code(head.coord, head.seq),
+                self.q.len() as u64,
+            );
             if self.cfg.spec.votes == VoteRule::Distributed {
                 self.index_remove(ctx, head, &payload);
             }
@@ -1684,6 +1813,11 @@ impl Replica {
                 });
             }
         }
+        ctx.trace(
+            labels::TXN_INSTALL,
+            tx_code(payload.tx.coord, payload.tx.seq),
+            payload.ws.len() as u64,
+        );
         if self.cfg.spec.post_commit == PostCommitRule::PropagateStamps {
             for (p, s) in bumped {
                 let part = gdur_store::PartitionId(p as u32);

@@ -98,6 +98,18 @@ impl<P: WireSize> WireSize for GcMsg<P> {
             GcMsg::SkeenProposal { .. } | GcMsg::SkeenFinal { .. } => HDR + 24,
         }
     }
+
+    fn wire_label(&self) -> &'static str {
+        match self {
+            GcMsg::AbSubmit { .. } => "gc.ab_submit",
+            GcMsg::AbOrdered { .. } => "gc.ab_ordered",
+            GcMsg::AbAck { .. } => "gc.ab_ack",
+            GcMsg::SkeenPropose { .. } => "gc.skeen_propose",
+            GcMsg::SkeenProposal { .. } => "gc.skeen_proposal",
+            GcMsg::SkeenFinal { .. } => "gc.skeen_final",
+            GcMsg::Reliable { .. } => "gc.reliable",
+        }
+    }
 }
 
 /// Output of feeding a message (or an application call) into a GC engine.

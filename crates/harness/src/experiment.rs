@@ -2,6 +2,7 @@
 
 use gdur_consistency::{CriterionCheck, History};
 use gdur_core::{Cluster, ClusterConfig, CostModel, ProtocolSpec, TxnRecord};
+use gdur_obs::{Histogram, ObsEvent, PhaseBreakdown, TraceHandle};
 use gdur_sim::{SimDuration, SimTime};
 use gdur_store::Placement;
 use gdur_workload::{WorkloadSpec, YcsbSource};
@@ -176,18 +177,14 @@ fn summarize(records: &[TxnRecord], window: SimDuration, clients_total: usize) -
     });
     let all_refs: Vec<&&TxnRecord> = committed.iter().collect();
     let avg_latency_ms = mean_ms(&all_refs, &|r| r.total_latency().as_millis_f64());
-    let mut lat: Vec<f64> = committed
-        .iter()
-        .map(|r| r.total_latency().as_millis_f64())
-        .collect();
-    lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let pct = |p: f64| -> f64 {
-        if lat.is_empty() {
-            0.0
-        } else {
-            lat[((lat.len() - 1) as f64 * p) as usize]
-        }
-    };
+    // Nearest-rank percentiles over the shared log-bucket histogram: the
+    // old `lat[((len-1) as f64 * p) as usize]` truncated the rank downward
+    // and under-reported tail latency on small samples.
+    let mut lat = Histogram::new();
+    for r in &committed {
+        lat.record(r.total_latency().as_nanos());
+    }
+    let pct = |p: f64| -> f64 { lat.quantile(p) as f64 / 1e6 };
     let (p50_latency_ms, p99_latency_ms) = (pct(0.5), pct(0.99));
     PointResult {
         clients_total,
@@ -209,6 +206,29 @@ fn summarize(records: &[TxnRecord], window: SimDuration, clients_total: usize) -
 /// Runs one sweep point: a full deployment at `clients_per_site`, with a
 /// warm-up excluded from the reported window.
 pub fn run_point(exp: &Experiment, scale: &Scale, clients_per_site: usize) -> PointResult {
+    run_point_impl(exp, scale, clients_per_site, false).0
+}
+
+/// Like [`run_point`], but with an observability sink attached for the whole
+/// run: returns the point result, its phase breakdown (measurement window
+/// only), and the full event trace. Tracing never consumes virtual time or
+/// randomness, so the [`PointResult`] is bit-identical to [`run_point`]'s.
+pub fn run_point_traced(
+    exp: &Experiment,
+    scale: &Scale,
+    clients_per_site: usize,
+) -> (PointResult, PhaseBreakdown, Vec<ObsEvent>) {
+    let (point, extra) = run_point_impl(exp, scale, clients_per_site, true);
+    let (breakdown, events) = extra.expect("traced run records a breakdown");
+    (point, breakdown, events)
+}
+
+fn run_point_impl(
+    exp: &Experiment,
+    scale: &Scale,
+    clients_per_site: usize,
+    traced: bool,
+) -> (PointResult, Option<(PhaseBreakdown, Vec<ObsEvent>)>) {
     let placement = exp.placement.placement(exp.sites);
     let partitions = placement.partitions() as u64;
     let total_keys = scale.keys_per_partition * partitions;
@@ -226,6 +246,8 @@ pub fn run_point(exp: &Experiment, scale: &Scale, clients_per_site: usize) -> Po
         // oracle below, so no reported number can come from a corrupt run.
         record_history: true,
         persistence: false,
+        vote_timeout: None,
+        max_read_attempts: None,
         seed: scale.seed ^ (clients_per_site as u64) << 32,
     };
     let ro = exp.read_only_ratio;
@@ -241,6 +263,10 @@ pub fn run_point(exp: &Experiment, scale: &Scale, clients_per_site: usize) -> Po
         .with_local_query_ratio(lq);
         Box::new(src)
     });
+    let trace = traced.then(TraceHandle::new);
+    if let Some(t) = &trace {
+        cluster.attach_obs(t.sink());
+    }
     cluster.run_for(scale.warmup);
     let warm_end = cluster.now();
     cluster.run_for(scale.measure);
@@ -260,7 +286,13 @@ pub fn run_point(exp: &Experiment, scale: &Scale, clients_per_site: usize) -> Po
         .filter(|r| r.decided_at >= warm_end)
         .collect();
     let clients_total = clients_per_site * exp.sites;
-    summarize(&records, cluster.now() - warm_end, clients_total)
+    let point = summarize(&records, cluster.now() - warm_end, clients_total);
+    let extra = trace.map(|t| {
+        let events = t.take();
+        let breakdown = PhaseBreakdown::from_events(&events, cluster.topology(), warm_end);
+        (breakdown, events)
+    });
+    (point, extra)
 }
 
 /// Runs the whole client sweep of an experiment, one OS thread per point.

@@ -21,11 +21,14 @@ pub mod plot;
 pub mod report;
 
 pub use experiment::{
-    max_throughput, run_point, run_sweep, Experiment, PlacementKind, PointResult, Scale,
-    WorkloadKind,
+    max_throughput, run_point, run_point_traced, run_sweep, Experiment, PlacementKind, PointResult,
+    Scale, WorkloadKind,
 };
 pub use figures::{
     all_figures, fig3a, fig3b, fig4, fig5, fig6a, fig6b, Figure, FigurePanel, Metric,
 };
 pub use plot::render_ascii;
-pub use report::{render_csv, render_text, run_and_report, run_figure, FigureResult};
+pub use report::{
+    render_breakdown_csv, render_breakdown_text, render_csv, render_text, run_and_report,
+    run_figure, BreakdownRow, FigureResult,
+};

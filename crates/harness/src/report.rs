@@ -3,6 +3,8 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
+use gdur_obs::{AbortCause, Phase, PhaseBreakdown};
+
 use crate::experiment::{max_throughput, run_sweep, PointResult, Scale};
 use crate::figures::{Figure, Metric};
 
@@ -145,6 +147,104 @@ pub fn render_csv(res: &FigureResult) -> String {
                     p.abort_ratio
                 );
             }
+        }
+    }
+    out
+}
+
+/// One traced sweep point paired with its phase breakdown, ready for the
+/// paper-style breakdown report.
+#[derive(Debug, Clone)]
+pub struct BreakdownRow {
+    /// Series label (protocol name).
+    pub label: String,
+    /// Total client threads at this point.
+    pub clients: usize,
+    /// The point's standard measurements.
+    pub point: PointResult,
+    /// The point's phase breakdown.
+    pub breakdown: PhaseBreakdown,
+}
+
+/// Renders traced points as an aligned phase-breakdown table.
+///
+/// Every value is an integer (counts, nearest-rank quantiles in µs), so the
+/// output is byte-stable across same-seed runs — CI diffs it against a
+/// golden file.
+pub fn render_breakdown_text(rows: &[BreakdownRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9} {:>7} {:>5} {:>5} {:>5} {:>5} {:>9}",
+        "series",
+        "clients",
+        "committed",
+        "aborted",
+        "exec_p50",
+        "queue_p50",
+        "term_p50",
+        "inst_p50",
+        "qd_p99",
+        "cc",
+        "vt",
+        "ri",
+        "cr",
+        "wan_kb"
+    );
+    for r in rows {
+        let us = |p: Phase| r.breakdown.phase(p).quantile(0.5) / 1_000;
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9} {:>7} {:>5} {:>5} {:>5} {:>5} {:>9}",
+            r.label,
+            r.clients,
+            r.breakdown.committed,
+            r.breakdown.aborted,
+            us(Phase::Execute),
+            us(Phase::QueueWait),
+            us(Phase::Termination),
+            us(Phase::InstallLag),
+            r.breakdown.queue_depth.quantile(0.99),
+            r.breakdown.aborts_for(AbortCause::CertificationConflict),
+            r.breakdown.aborts_for(AbortCause::VoteTimeout),
+            r.breakdown.aborts_for(AbortCause::ReadImpossible),
+            r.breakdown.aborts_for(AbortCause::Crash),
+            r.breakdown.wan_bytes() / 1024,
+        );
+    }
+    out
+}
+
+/// Renders traced points as CSV: one row per (point, phase) with counts and
+/// nearest-rank quantiles in nanoseconds, plus the abort-cause partition.
+pub fn render_breakdown_csv(rows: &[BreakdownRow]) -> String {
+    let mut out = String::from(
+        "series,clients,committed,aborted,phase,count,p50_ns,p99_ns,qdepth_p99,\
+         cert_conflict,vote_timeout,read_impossible,crash,orphans,msgs,wan_bytes\n",
+    );
+    for r in rows {
+        for phase in Phase::ALL {
+            let h = r.breakdown.phase(phase);
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                r.label,
+                r.clients,
+                r.breakdown.committed,
+                r.breakdown.aborted,
+                phase.label(),
+                h.count(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                r.breakdown.queue_depth.quantile(0.99),
+                r.breakdown.aborts_for(AbortCause::CertificationConflict),
+                r.breakdown.aborts_for(AbortCause::VoteTimeout),
+                r.breakdown.aborts_for(AbortCause::ReadImpossible),
+                r.breakdown.aborts_for(AbortCause::Crash),
+                r.breakdown.orphan_aborts,
+                r.breakdown.total_msgs(),
+                r.breakdown.wan_bytes(),
+            );
         }
     }
     out

@@ -140,6 +140,16 @@ impl Topology {
         self.site_of[p.index()]
     }
 
+    /// True if a message between placed processes `a` and `b` crosses a
+    /// site boundary (the WAN traffic the paper's metadata costs hinge on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either process was never placed.
+    pub fn is_wan(&self, a: ProcessId, b: ProcessId) -> bool {
+        self.site_of(a) != self.site_of(b)
+    }
+
     /// Base one-way latency between two sites.
     pub fn base_latency(&self, a: SiteId, b: SiteId) -> SimDuration {
         if a == b {

@@ -1,0 +1,189 @@
+//! Trace vocabulary: event labels, the abort-cause taxonomy, transaction
+//! codes, and the shared in-memory trace sink.
+
+use std::sync::{Arc, Mutex};
+
+use gdur_sim::{ObsEvent, ObsSink};
+
+/// The label vocabulary of the transaction lifecycle trace.
+///
+/// Every [`ObsEvent::Point`] emitted by the middleware carries one of these
+/// labels; the `value` payload is label-specific and documented per constant.
+pub mod labels {
+    /// Coordinator accepted `Begin` (value: unused, always 0).
+    pub const TXN_BEGIN: &str = "txn.begin";
+    /// Coordinator issued a remote read (value: attempt number, 0-based).
+    pub const TXN_READ_REMOTE: &str = "txn.read.remote";
+    /// Coordinator submitted the transaction to commitment (value: number
+    /// of certifying keys; 0 = wait-free commit).
+    pub const TXN_SUBMIT: &str = "txn.submit";
+    /// A replica enqueued the transaction into its certification queue
+    /// (value: queue depth *after* the push — the convoy-effect sample).
+    pub const CERT_ENQUEUE: &str = "cert.enqueue";
+    /// A replica popped the transaction off its certification queue
+    /// (value: queue depth after the pop).
+    pub const CERT_DEQUEUE: &str = "cert.dequeue";
+    /// A replica cast its certification vote (value: 1 = yes).
+    pub const TXN_VOTE: &str = "txn.vote";
+    /// The coordinator decided (value: 1 = commit).
+    pub const TXN_DECIDE: &str = "txn.decide";
+    /// The coordinator aborted (value: [`AbortCause::code`](super::AbortCause::code)).
+    pub const TXN_ABORT: &str = "txn.abort";
+    /// A replica installed the transaction's writes (value: writes applied).
+    pub const TXN_INSTALL: &str = "txn.install";
+    /// A participant discarded an undecided transaction of a suspected
+    /// coordinator site (value: [`AbortCause::Crash`](super::AbortCause)'s
+    /// code). Participant-side only — never part of the coordinator abort
+    /// partition.
+    pub const CERT_ORPHAN: &str = "cert.orphan";
+}
+
+/// Why a transaction aborted, attached to every aborted
+/// `TxnRecord`/`ClientReply::Outcome`.
+///
+/// The four causes partition coordinator-side aborts: for every replica,
+/// the per-cause counters sum exactly to its `aborted` counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbortCause {
+    /// Certification failed: a conflicting transaction committed first
+    /// (negative vote, preemptive 2PC abort, or local-decide rejection).
+    CertificationConflict,
+    /// The coordinator gave up waiting for votes (a participant crashed or
+    /// was partitioned away; requires an armed vote timeout).
+    VoteTimeout,
+    /// The read phase could not complete: no reachable replica could serve
+    /// a version admitted by the snapshot (version-selection failure or
+    /// exhausted read failover).
+    ReadImpossible,
+    /// The process owning the transaction crashed mid-flight.
+    Crash,
+}
+
+impl AbortCause {
+    /// All causes, in `code()` order.
+    pub const ALL: [AbortCause; 4] = [
+        AbortCause::CertificationConflict,
+        AbortCause::VoteTimeout,
+        AbortCause::ReadImpossible,
+        AbortCause::Crash,
+    ];
+
+    /// Stable numeric code, used as the `value` of `txn.abort` events.
+    pub fn code(self) -> u64 {
+        match self {
+            AbortCause::CertificationConflict => 0,
+            AbortCause::VoteTimeout => 1,
+            AbortCause::ReadImpossible => 2,
+            AbortCause::Crash => 3,
+        }
+    }
+
+    /// Inverse of [`AbortCause::code`]; unknown codes map to `None`.
+    pub fn from_code(code: u64) -> Option<AbortCause> {
+        AbortCause::ALL.get(code as usize).copied()
+    }
+
+    /// Short stable label for reports and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortCause::CertificationConflict => "cert_conflict",
+            AbortCause::VoteTimeout => "vote_timeout",
+            AbortCause::ReadImpossible => "read_impossible",
+            AbortCause::Crash => "crash",
+        }
+    }
+}
+
+/// Packs a transaction id (coordinator id + per-coordinator sequence) into
+/// the `tx` field of trace events. Sequences are per-client counters, so 24
+/// bits of coordinator and 40 bits of sequence never collide in practice.
+pub fn tx_code(coord: u32, seq: u64) -> u64 {
+    ((coord as u64) << 40) | (seq & 0xff_ffff_ffff)
+}
+
+/// A cloneable in-memory trace buffer.
+///
+/// Hand one clone to the simulation (via [`TraceHandle::sink`]) and keep
+/// another to read the events back after the run. The mutex is uncontended —
+/// a simulation is single-threaded — it only exists so the sink satisfies
+/// the `Send` bound of [`ObsSink`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle {
+    events: Arc<Mutex<Vec<ObsEvent>>>,
+}
+
+impl TraceHandle {
+    /// An empty trace buffer.
+    pub fn new() -> Self {
+        TraceHandle::default()
+    }
+
+    /// A boxed sink recording into this buffer, for
+    /// `Simulation::attach_obs`.
+    pub fn sink(&self) -> Box<dyn ObsSink> {
+        Box::new(self.clone())
+    }
+
+    /// A copy of the events recorded so far, in emission order.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        self.events.lock().expect("trace lock").clone()
+    }
+
+    /// Drains and returns the recorded events.
+    pub fn take(&self) -> Vec<ObsEvent> {
+        std::mem::take(&mut *self.events.lock().expect("trace lock"))
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace lock").len()
+    }
+
+    /// True if nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ObsSink for TraceHandle {
+    fn record(&mut self, ev: ObsEvent) {
+        self.events.lock().expect("trace lock").push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdur_sim::ProcessId;
+
+    #[test]
+    fn cause_codes_roundtrip() {
+        for c in AbortCause::ALL {
+            assert_eq!(AbortCause::from_code(c.code()), Some(c));
+        }
+        assert_eq!(AbortCause::from_code(99), None);
+    }
+
+    #[test]
+    fn tx_codes_are_disjoint_across_coordinators() {
+        assert_ne!(tx_code(1, 5), tx_code(2, 5));
+        assert_ne!(tx_code(1, 5), tx_code(1, 6));
+        assert_eq!(tx_code(3, 9), tx_code(3, 9));
+    }
+
+    #[test]
+    fn trace_handle_shares_events_across_clones() {
+        let h = TraceHandle::new();
+        let mut sink = h.sink();
+        sink.record(ObsEvent::Point {
+            at: gdur_sim::SimTime::ZERO,
+            actor: ProcessId(1),
+            label: labels::TXN_BEGIN,
+            tx: tx_code(1, 1),
+            value: 0,
+        });
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.take().len(), 1);
+        assert!(h.is_empty());
+    }
+}

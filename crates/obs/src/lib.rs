@@ -1,0 +1,37 @@
+//! # gdur-obs — deterministic observability for G-DUR runs
+//!
+//! The G-DUR paper's contribution is not only *running* many transactional
+//! protocols on one middleware but *analyzing* them: its evaluation explains
+//! every crossover by decomposing latency into phases and classifying aborts
+//! (§6). This crate is that analysis substrate for the reproduction:
+//!
+//! * **Trace events** — the kernel ([`gdur_sim`]) emits [`ObsEvent`]s into
+//!   an attached [`ObsSink`]: phase-stamped transaction lifecycle points
+//!   (see [`labels`]) plus one `Send` record per message departure. The
+//!   [`TraceHandle`] here is the standard in-memory sink.
+//! * **Metrics** — [`MetricsRegistry`] and [`Histogram`] are BTree-backed
+//!   and fixed-bucket: snapshots are bit-identical across same-seed runs,
+//!   in line with the determinism lint of `gdur-analysis`.
+//! * **Abort taxonomy** — [`AbortCause`] partitions every coordinator-side
+//!   abort (the per-cause counters always sum to `aborted`).
+//! * **Phase breakdown** — [`PhaseBreakdown`] folds a trace into the
+//!   paper-style explanation: mean/p99 per phase, certification-queue
+//!   depth and residence (the convoy effect), messages and WAN bytes per
+//!   message type, aborts by cause.
+//! * **Export** — [`jsonl`] renders and validates the on-disk trace format.
+//!
+//! Everything here is observation-only: recording draws no virtual time and
+//! no randomness, so attaching a sink cannot perturb a run, and a disabled
+//! sink costs one branch per event site.
+
+mod breakdown;
+mod event;
+mod hist;
+pub mod jsonl;
+mod metrics;
+
+pub use breakdown::{MsgFlow, Phase, PhaseBreakdown};
+pub use event::{labels, tx_code, AbortCause, TraceHandle};
+pub use gdur_sim::{ObsEvent, ObsSink};
+pub use hist::Histogram;
+pub use metrics::MetricsRegistry;

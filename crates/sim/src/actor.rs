@@ -37,6 +37,12 @@ impl fmt::Display for ProcessId {
 pub trait WireSize {
     /// Approximate on-the-wire size of this message, in bytes.
     fn wire_size(&self) -> usize;
+
+    /// A short static label naming the message type, used by the
+    /// observability layer to break traffic down per message kind.
+    fn wire_label(&self) -> &'static str {
+        "msg"
+    }
 }
 
 /// A simulated process.

@@ -30,6 +30,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::actor::{Actor, ProcessId, WireSize};
+use crate::obs::{ObsEvent, ObsSink};
 use crate::time::{SimDuration, SimTime};
 
 /// Computes point-to-point message delay.
@@ -91,6 +92,7 @@ pub struct Context<'a, M> {
     outputs: &'a mut Vec<Output<M>>,
     next_timer: &'a mut u64,
     halted: &'a mut bool,
+    obs: Option<&'a mut (dyn ObsSink + 'static)>,
 }
 
 enum Output<M> {
@@ -172,6 +174,27 @@ impl<'a, M> Context<'a, M> {
     pub fn halt(&mut self) {
         *self.halted = true;
     }
+
+    /// True if an observability sink is attached; lets callers skip building
+    /// expensive trace payloads when nobody is listening.
+    pub fn obs_on(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Records a [`ObsEvent::Point`] trace event stamped at this handler's
+    /// service-start instant. A no-op without an attached sink; never
+    /// consumes CPU time or randomness, so tracing cannot perturb a run.
+    pub fn trace(&mut self, label: &'static str, tx: u64, value: u64) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.record(ObsEvent::Point {
+                at: self.now,
+                actor: self.self_id,
+                label,
+                tx,
+                value,
+            });
+        }
+    }
 }
 
 enum Job<M> {
@@ -244,6 +267,7 @@ pub struct Simulation<A: Actor, L: LatencyModel> {
     started: bool,
     stats: SimStats,
     scratch: Vec<Output<A::Msg>>,
+    obs: Option<Box<dyn ObsSink>>,
 }
 
 impl<A: Actor, L: LatencyModel> Simulation<A, L> {
@@ -260,7 +284,21 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
             started: false,
             stats: SimStats::default(),
             scratch: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Attaches an observability sink receiving [`ObsEvent`]s: every
+    /// [`Context::trace`] point plus one [`ObsEvent::Send`] per message
+    /// departure. Recording draws no time and no randomness, so a traced
+    /// run is bit-identical to an untraced one.
+    pub fn attach_obs(&mut self, sink: Box<dyn ObsSink>) {
+        self.obs = Some(sink);
+    }
+
+    /// Detaches and returns the observability sink, if any.
+    pub fn detach_obs(&mut self) -> Option<Box<dyn ObsSink>> {
+        self.obs.take()
     }
 
     /// Adds an actor with the given CPU model; returns its process id.
@@ -485,6 +523,7 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
                 outputs: &mut outputs,
                 next_timer: &mut slot.next_timer,
                 halted: &mut self.halted,
+                obs: self.obs.as_deref_mut(),
             };
             match job {
                 Job::Start => slot.actor.on_start(&mut ctx),
@@ -502,6 +541,15 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
                 Output::Send { to, msg, extra } => {
                     let bytes = msg.wire_size();
                     let delay = self.latency.delay(id, to, bytes, &mut self.rng);
+                    if let Some(obs) = self.obs.as_deref_mut() {
+                        obs.record(ObsEvent::Send {
+                            at: end + extra,
+                            from: id,
+                            to,
+                            label: msg.wire_label(),
+                            bytes: bytes as u64,
+                        });
+                    }
                     self.push(
                         end + extra + delay,
                         EventKind::Arrival(to, Job::Message { from: id, msg }),
@@ -720,6 +768,90 @@ mod tests {
             sim.actor(a).log.clone()
         }
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn obs_records_points_and_departures() {
+        use std::sync::{Arc, Mutex};
+
+        struct Traced {
+            peer: Option<ProcessId>,
+        }
+        impl Actor for Traced {
+            type Msg = Ping;
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                if let Some(p) = self.peer {
+                    ctx.trace("start", 7, 1);
+                    ctx.consume(SimDuration::from_millis(5));
+                    ctx.send(p, Ping(0));
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, Ping>, _: ProcessId, _: Ping) {
+                ctx.trace("got", 7, 2);
+            }
+        }
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<ObsEvent>>>);
+        impl ObsSink for Shared {
+            fn record(&mut self, ev: ObsEvent) {
+                self.0.lock().expect("sink lock").push(ev);
+            }
+        }
+
+        let events = Shared(Arc::new(Mutex::new(Vec::new())));
+        let mut sim = Simulation::new(UniformLatency(SimDuration::from_millis(10)), 1);
+        let a = sim.spawn(Traced { peer: None }, Cores::Fixed(1));
+        let b = sim.spawn(Traced { peer: Some(a) }, Cores::Fixed(1));
+        sim.attach_obs(Box::new(events.clone()));
+        sim.run_until_idle();
+        let log = events.0.lock().expect("sink lock").clone();
+        assert_eq!(
+            log,
+            vec![
+                // Point stamped at the handler's service start...
+                ObsEvent::Point {
+                    at: SimTime::ZERO,
+                    actor: b,
+                    label: "start",
+                    tx: 7,
+                    value: 1,
+                },
+                // ...departure at service end (start + 5ms consumed)...
+                ObsEvent::Send {
+                    at: SimTime::from_nanos(5_000_000),
+                    from: b,
+                    to: a,
+                    label: "msg",
+                    bytes: 64,
+                },
+                // ...and delivery-side point at departure + network delay.
+                ObsEvent::Point {
+                    at: SimTime::from_nanos(15_000_000),
+                    actor: a,
+                    label: "got",
+                    tx: 7,
+                    value: 2,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn attaching_obs_does_not_perturb_the_run() {
+        fn run(traced: bool) -> Vec<(SimTime, ProcessId, u32)> {
+            let mut sim = Simulation::new(UniformLatency(SimDuration::from_millis(3)), 7);
+            let a = sim.spawn(Echo::new(), Cores::Fixed(1));
+            let b = sim.spawn(Echo::new(), Cores::Fixed(1));
+            sim.actor_mut(a).peer = Some(b);
+            sim.actor_mut(a).send_on_start = true;
+            if traced {
+                sim.attach_obs(Box::new(Vec::new()));
+            }
+            sim.run_until_idle();
+            sim.actor(a).log.clone()
+        }
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -54,8 +54,10 @@
 
 mod actor;
 mod kernel;
+mod obs;
 mod time;
 
 pub use actor::{Actor, ProcessId, WireSize};
 pub use kernel::{Context, Cores, LatencyModel, SimStats, Simulation, UniformLatency, ZeroLatency};
+pub use obs::{ObsEvent, ObsSink};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,84 @@
+//! Kernel-level observability hooks.
+//!
+//! The kernel itself knows nothing about transactions or protocols: it only
+//! offers a sink to which actors (via [`Context::trace`](crate::Context))
+//! and the dispatch loop (message departures) append [`ObsEvent`]s. The
+//! interpretation of labels, the metrics registry, and the phase-breakdown
+//! aggregation all live in `gdur-obs`, outside the deterministic core.
+//!
+//! Recording is deliberately side-effect free with respect to the
+//! simulation: appending an event never consumes virtual time, never draws
+//! from the RNG, and never schedules anything. Attaching a sink therefore
+//! cannot perturb a run, and detaching it makes tracing a dead branch.
+
+use crate::actor::ProcessId;
+use crate::time::SimTime;
+
+/// One observability event, stamped in virtual time.
+///
+/// Labels are `&'static str` by design: the set of event kinds is fixed at
+/// compile time, comparisons are cheap, and no allocation happens on the
+/// hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// A point event emitted by an actor via [`Context::trace`](crate::Context::trace),
+    /// stamped at the emitting handler's service-start instant.
+    Point {
+        /// Virtual instant of the emitting handler's service start.
+        at: SimTime,
+        /// The actor that emitted the event.
+        actor: ProcessId,
+        /// Event kind (see `gdur_obs::labels` for the vocabulary).
+        label: &'static str,
+        /// Transaction code (`gdur_obs::tx_code`), or 0 if not txn-scoped.
+        tx: u64,
+        /// Label-specific payload (queue depth, vote, abort-cause code...).
+        value: u64,
+    },
+    /// A message departure recorded by the kernel, stamped at the sending
+    /// handler's service-*end* instant (when the bytes hit the wire).
+    Send {
+        /// Virtual departure instant.
+        at: SimTime,
+        /// Sending actor.
+        from: ProcessId,
+        /// Destination actor.
+        to: ProcessId,
+        /// Message-type label ([`WireSize::wire_label`](crate::WireSize::wire_label)).
+        label: &'static str,
+        /// Wire size of the message in bytes.
+        bytes: u64,
+    },
+}
+
+impl ObsEvent {
+    /// The virtual instant the event is stamped with.
+    pub fn at(&self) -> SimTime {
+        match self {
+            ObsEvent::Point { at, .. } | ObsEvent::Send { at, .. } => *at,
+        }
+    }
+
+    /// The event's label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ObsEvent::Point { label, .. } | ObsEvent::Send { label, .. } => label,
+        }
+    }
+}
+
+/// Receiver of [`ObsEvent`]s, attached to a simulation with
+/// [`Simulation::attach_obs`](crate::Simulation::attach_obs).
+///
+/// `Send` is required so that a `Simulation` stays `Send` whether or not a
+/// sink is attached (experiment sweeps build one simulation per thread).
+pub trait ObsSink: Send {
+    /// Appends one event. Must be cheap and must not panic.
+    fn record(&mut self, ev: ObsEvent);
+}
+
+impl ObsSink for Vec<ObsEvent> {
+    fn record(&mut self, ev: ObsEvent) {
+        self.push(ev);
+    }
+}
