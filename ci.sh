@@ -24,4 +24,14 @@ cargo run -q --release -p gdur-analysis --bin detlint -- --dynamic
 echo "==> obs_smoke (traced run: schema, convoy/abort invariants, golden diff)"
 cargo run -q --release -p gdur-bench --bin obs_smoke
 
+# Wall-clock regression gate against the blessed reference in
+# BENCH_sim.json. Skippable because wall-clock is only meaningful on an
+# otherwise idle machine (virtual-time correctness is covered above).
+if [ "${SKIP_PERF_GATE:-0}" = "1" ]; then
+    echo "==> perf_gate: skipped (SKIP_PERF_GATE=1)"
+else
+    echo "==> perf_gate (wall-clock + kernel-event check vs blessed reference)"
+    cargo run -q --release -p gdur-bench --bin perf_gate -- --check
+fi
+
 echo "==> ci: all checks passed"

@@ -77,15 +77,45 @@ pub struct TermPayload {
     pub rs: Arc<Vec<ReadEntry>>,
     /// Write buffer with after-values and base versions.
     pub ws: Arc<Vec<WriteEntry>>,
-    /// Dependency vector for commit stamping (dimension = mechanism dim).
-    pub dep: VersionVec,
+    /// Dependency vector for commit stamping (dimension = mechanism dim),
+    /// `Arc`-shared so the whole payload clones in O(1) — it is copied
+    /// once per destination by every `xcast` primitive and again at each
+    /// certification/voting step.
+    pub dep: Arc<VersionVec>,
+    /// Cached wire size; the shared sets are immutable after construction,
+    /// and the size is re-read on every fan-out copy, send-cost charge,
+    /// and kernel traffic account.
+    wire: u32,
+}
+
+impl TermPayload {
+    /// Assembles a payload, fixing its wire size once (the `Arc`-shared
+    /// sets never change afterwards).
+    pub fn new(
+        tx: TxId,
+        coord: ProcessId,
+        read_only: bool,
+        rs: Arc<Vec<ReadEntry>>,
+        ws: Arc<Vec<WriteEntry>>,
+        dep: Arc<VersionVec>,
+    ) -> Self {
+        let ws_bytes: usize = ws.iter().map(|w| 16 + w.value.len()).sum();
+        let wire = (32 + rs.len() * 16 + ws_bytes + dep.wire_size()) as u32;
+        TermPayload {
+            tx,
+            coord,
+            read_only,
+            rs,
+            ws,
+            dep,
+            wire,
+        }
+    }
 }
 
 impl WireSize for TermPayload {
     fn wire_size(&self) -> usize {
-        let rs = self.rs.len() * 16;
-        let ws: usize = self.ws.iter().map(|w| 16 + w.value.len()).sum();
-        32 + rs + ws + self.dep.wire_size()
+        self.wire as usize
     }
 }
 
@@ -239,29 +269,29 @@ mod tests {
 
     #[test]
     fn payload_size_scales_with_sets_and_values() {
-        let empty = TermPayload {
-            tx: TxId::new(0, 1),
-            coord: ProcessId(0),
-            read_only: true,
-            rs: Arc::new(vec![]),
-            ws: Arc::new(vec![]),
-            dep: VersionVec::zero(0),
-        };
-        let loaded = TermPayload {
-            tx: TxId::new(0, 1),
-            coord: ProcessId(0),
-            read_only: false,
-            rs: Arc::new(vec![ReadEntry {
+        let empty = TermPayload::new(
+            TxId::new(0, 1),
+            ProcessId(0),
+            true,
+            Arc::new(vec![]),
+            Arc::new(vec![]),
+            Arc::new(VersionVec::zero(0)),
+        );
+        let loaded = TermPayload::new(
+            TxId::new(0, 1),
+            ProcessId(0),
+            false,
+            Arc::new(vec![ReadEntry {
                 key: Key(1),
                 seq: 0,
             }]),
-            ws: Arc::new(vec![WriteEntry {
+            Arc::new(vec![WriteEntry {
                 key: Key(2),
                 value: Value::of_size(1024),
                 base_seq: 0,
             }]),
-            dep: VersionVec::zero(4),
-        };
+            Arc::new(VersionVec::zero(4)),
+        );
         assert!(loaded.wire_size() > empty.wire_size() + 1024);
     }
 

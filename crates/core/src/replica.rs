@@ -168,7 +168,9 @@ struct PartTxn {
 /// this view; in GC mode every `vote_recv` replica decides from it).
 #[derive(Debug, Default)]
 struct VoteState {
-    yes_sites: BTreeSet<SiteId>,
+    /// Sites that voted yes, kept sorted. A flat vector: the set is bounded
+    /// by the site count, so membership scans beat a tree node per insert.
+    yes_sites: Vec<SiteId>,
     any_no: bool,
     /// Per-partition commit-clock reservations carried by yes votes,
     /// merged by maximum.
@@ -228,7 +230,7 @@ pub struct Replica {
     deferred_reads: BTreeMap<u64, DeferredRead>,
     /// Participations already terminated here; late votes and duplicate
     /// decisions for them are dropped.
-    done: std::collections::BTreeSet<TxId>,
+    done: TerminatedSet,
     /// Outstanding remote-read timers: timer tag → transaction.
     read_timers: BTreeMap<u64, TxId>,
     /// Termination-retry timers (2PC/Paxos crash-recovery retransmission).
@@ -245,6 +247,48 @@ pub struct Replica {
     outcomes: Vec<TxnOutcomeRecord>,
     /// Durable log, when the persistence layer is attached.
     wal: Option<gdur_persist::Wal>,
+}
+
+/// The set of transactions that terminated at this replica, compressed per
+/// coordinator.
+///
+/// Every message about a transaction checks this set, and it only ever
+/// grows, so a flat `BTreeSet<TxId>` ends up as the deepest tree in the
+/// replica. Clients run one transaction at a time, which means each
+/// coordinator's sequence numbers (allocated from 1) terminate in order:
+/// the set is a dense prefix `1..=watermark` per coordinator plus an
+/// (almost always empty) out-of-order tail.
+#[derive(Debug, Default)]
+struct TerminatedSet {
+    per_coord: BTreeMap<u32, CoordDone>,
+}
+
+#[derive(Debug, Default)]
+struct CoordDone {
+    /// Every seq in `1..=watermark` has terminated.
+    watermark: u64,
+    /// Terminated seqs above the watermark (plus a defensive slot for a
+    /// seq-0 id, which real coordinators never allocate).
+    sparse: BTreeSet<u64>,
+}
+
+impl TerminatedSet {
+    fn contains(&self, tx: &TxId) -> bool {
+        self.per_coord
+            .get(&tx.coord)
+            .is_some_and(|d| (tx.seq != 0 && tx.seq <= d.watermark) || d.sparse.contains(&tx.seq))
+    }
+
+    fn insert(&mut self, tx: TxId) {
+        let d = self.per_coord.entry(tx.coord).or_default();
+        if tx.seq != 0 && tx.seq <= d.watermark {
+            return;
+        }
+        d.sparse.insert(tx.seq);
+        while d.sparse.remove(&(d.watermark + 1)) {
+            d.watermark += 1;
+        }
+    }
 }
 
 impl Replica {
@@ -280,7 +324,7 @@ impl Replica {
             key_index: BTreeMap::new(),
             waiters: BTreeMap::new(),
             early_decide: BTreeMap::new(),
-            done: std::collections::BTreeSet::new(),
+            done: TerminatedSet::default(),
             read_timers: BTreeMap::new(),
             term_timers: BTreeMap::new(),
             vote_timers: BTreeMap::new(),
@@ -620,7 +664,7 @@ impl Replica {
                     .and_then(|t| t.submitted_payload.clone());
                 if let Some(payload) = payload {
                     let certifying = self.coord.get(&tx).expect("present").certifying.clone();
-                    let dests: Vec<ProcessId> = self
+                    let dests: std::sync::Arc<[ProcessId]> = self
                         .sites_of_keys(certifying.iter())
                         .into_iter()
                         .map(|s| self.pid_of_site(s))
@@ -865,14 +909,14 @@ impl Replica {
         }
         let t = self.coord.get_mut(&tx).expect("present");
         t.certifying = certifying.clone();
-        let payload = TermPayload {
+        let payload = TermPayload::new(
             tx,
-            coord: self.me,
-            read_only: t.ws.is_empty(),
-            rs: std::sync::Arc::new(t.rs.clone()),
-            ws: std::sync::Arc::new(t.ws.clone()),
-            dep: t.snapshot.dependency_vec(),
-        };
+            self.me,
+            t.ws.is_empty(),
+            std::sync::Arc::new(t.rs.clone()),
+            std::sync::Arc::new(t.ws.clone()),
+            std::sync::Arc::new(t.snapshot.dependency_vec()),
+        );
         ctx.consume(
             self.cfg
                 .costs
@@ -885,7 +929,9 @@ impl Replica {
             } else {
                 self.sites_of_keys(certifying.iter()).into_iter().collect()
             };
-        let dests: Vec<ProcessId> = dest_sites.iter().map(|s| self.pid_of_site(*s)).collect();
+        // Built as an `Arc` once: every fan-out copy below shares it.
+        let dests: std::sync::Arc<[ProcessId]> =
+            dest_sites.iter().map(|s| self.pid_of_site(*s)).collect();
         let xcast = match self.cfg.spec.commitment {
             CommitmentKind::GroupCommunication { xcast } => xcast,
             CommitmentKind::TwoPhaseCommit | CommitmentKind::PaxosCommit => XcastKind::Multicast,
@@ -1071,7 +1117,15 @@ impl Replica {
     /// Removes a terminated transaction from the conflict index and wakes
     /// its waiters; newly unblocked transactions cast their deferred votes.
     fn index_remove(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, payload: &TermPayload) {
-        for (key, _, _) in Self::accesses(payload) {
+        // Keys straight off the payload: a key in both sets scrubs its
+        // bucket twice, which is idempotent, so the deduplicated
+        // `accesses` Vec is not worth building here.
+        let keys = payload
+            .rs
+            .iter()
+            .map(|e| e.key)
+            .chain(payload.ws.iter().map(|w| w.key));
+        for key in keys {
             if let Some(bucket) = self.key_index.get_mut(&key) {
                 bucket.retain(|(t, _, _)| *t != tx);
                 if bucket.is_empty() {
@@ -1212,13 +1266,13 @@ impl Replica {
             // certification votes", §5.1).
             self.cfg.replica_pids.iter().copied().collect()
         } else {
-            let mut keys: Vec<Key> = payload.rs.iter().map(|e| e.key).collect();
-            for w in payload.ws.iter() {
-                if !keys.contains(&w.key) {
-                    keys.push(w.key);
-                }
-            }
-            self.sites_of_keys(keys.iter())
+            // Duplicate keys are fine here: the site set dedups them.
+            let keys = payload
+                .rs
+                .iter()
+                .map(|e| &e.key)
+                .chain(payload.ws.iter().map(|w| &w.key));
+            self.sites_of_keys(keys)
                 .into_iter()
                 .map(|s| self.pid_of_site(s))
                 .collect()
@@ -1285,7 +1339,9 @@ impl Replica {
         {
             let v = self.votes.entry(tx).or_default();
             if yes {
-                v.yes_sites.insert(site);
+                if let Err(i) = v.yes_sites.binary_search(&site) {
+                    v.yes_sites.insert(i, site);
+                }
                 for (p, s) in clocks {
                     match v.clocks.iter_mut().find(|(q, _)| *q == p) {
                         Some(e) => e.1 = e.1.max(s),
@@ -1515,37 +1571,34 @@ impl Replica {
             return;
         }
         let Some(v) = self.votes.get(&tx) else { return };
-        let merged_clocks = v.clocks.clone();
         let outcome = if v.any_no {
             Some(false)
         } else {
             let payload = &p.payload;
-            // vote_snd_obj = certifying_obj: reconstruct the certifying set
-            // from the payload under this protocol's rule.
-            let mut keys: Vec<Key> = payload.rs.iter().map(|e| e.key).collect();
-            for w in payload.ws.iter() {
-                if !keys.contains(&w.key) {
-                    keys.push(w.key);
-                }
-            }
-            let certifying: Vec<Key> = match self.cfg.spec.certifying_obj {
-                CertifyingObjRule::WriteSet | CertifyingObjRule::WriteSetIfUpdate => {
-                    payload.ws.iter().map(|w| w.key).collect()
-                }
-                _ => keys,
+            let covered = |k: &Key| {
+                self.cfg
+                    .placement
+                    .replicas_of_key(*k)
+                    .iter()
+                    .any(|s| v.yes_sites.contains(s))
             };
-            certifying
-                .iter()
-                .all(|k| {
-                    self.cfg
-                        .placement
-                        .replicas_of_key(*k)
-                        .iter()
-                        .any(|s| v.yes_sites.contains(s))
-                })
-                .then_some(true)
+            // vote_snd_obj = certifying_obj: check coverage of the
+            // certifying set straight off the payload under this
+            // protocol's rule (duplicate keys re-check a pure predicate,
+            // so no dedup pass is needed).
+            let all = match self.cfg.spec.certifying_obj {
+                CertifyingObjRule::WriteSet | CertifyingObjRule::WriteSetIfUpdate => {
+                    payload.ws.iter().all(|w| covered(&w.key))
+                }
+                _ => {
+                    payload.rs.iter().all(|e| covered(&e.key))
+                        && payload.ws.iter().all(|w| covered(&w.key))
+                }
+            };
+            all.then_some(true)
         };
         if let Some(commit) = outcome {
+            let merged_clocks = v.clocks.clone();
             let p = self.part.get_mut(&tx).expect("present");
             p.outcome = Some(commit);
             if p.decided_clocks.is_empty() {
@@ -1623,10 +1676,13 @@ impl Replica {
                 self.q.pop_front();
                 continue;
             };
-            if p.outcome.is_none() && p.payload.read_only {
+            let mut outcome = p.outcome;
+            let mut orphaned = false;
+            if outcome.is_none() && p.payload.read_only {
                 if let Some(site) = self.try_site_of_pid(p.payload.coord) {
                     if self.suspected.contains(&site) {
-                        self.part.get_mut(&head).expect("present").outcome = Some(false);
+                        outcome = Some(false);
+                        orphaned = true;
                         // An orphan discard, not a coordinated abort: kept
                         // out of the coordinator-side cause partition.
                         ctx.trace(
@@ -1637,15 +1693,23 @@ impl Replica {
                     }
                 }
             }
-            let Some(commit) = self.part.get(&head).expect("present").outcome else {
+            let Some(commit) = outcome else {
                 break;
             };
-            let p = self.part.get(&head).expect("present");
+            // One mutable lookup covers the orphan write-back, the payload
+            // grab, and the applied flag; the clock vectors are taken, not
+            // cloned — the entry is removed at the end of this iteration
+            // and nothing reads them from the map in between.
+            let p = self.part.get_mut(&head).expect("present");
+            if orphaned {
+                p.outcome = Some(commit);
+            }
             let payload = p.payload.clone();
-            let decided_clocks = p.decided_clocks.clone();
-            let reserved = p.reserved.clone();
-            if commit && !p.applied {
-                self.part.get_mut(&head).expect("present").applied = true;
+            let decided_clocks = std::mem::take(&mut p.decided_clocks);
+            let reserved = std::mem::take(&mut p.reserved);
+            let applied = p.applied;
+            if commit && !applied {
+                p.applied = true;
                 self.apply(ctx, &payload, &decided_clocks, &reserved);
             } else if !commit {
                 // Aborted reservations must resolve, or the frontier stalls.
@@ -1759,7 +1823,7 @@ impl Replica {
         // vote-clocked mode the decision's merged reservations cover every
         // written partition, local or not, so every install of the
         // transaction (at every replica) carries the same complete vector.
-        let mut commit_vec = payload.dep.clone();
+        let mut commit_vec = (*payload.dep).clone();
         if commit_vec.dim() == self.knowledge.dim() {
             for (p, s) in &bumped {
                 if commit_vec.get(*p) < *s {

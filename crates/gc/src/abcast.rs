@@ -14,6 +14,7 @@
 //! across *all* replicas.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use gdur_sim::ProcessId;
 
@@ -24,7 +25,9 @@ use crate::msg::{GcEvent, GcMsg};
 #[derive(Debug, Clone)]
 pub struct AbCastEngine<P> {
     me: ProcessId,
-    group: Vec<ProcessId>,
+    /// Shared group membership: fan-out loops clone the `Arc`, not the
+    /// member list.
+    group: Arc<[ProcessId]>,
     /// Sequencer = the lowest-id process of the group.
     sequencer: ProcessId,
     /// Next sequence number to assign (meaningful at the sequencer only).
@@ -43,7 +46,8 @@ impl<P: Clone> AbCastEngine<P> {
     /// # Panics
     ///
     /// Panics if `group` is empty or does not contain `me`.
-    pub fn new(me: ProcessId, group: Vec<ProcessId>) -> Self {
+    pub fn new(me: ProcessId, group: impl Into<Arc<[ProcessId]>>) -> Self {
+        let group = group.into();
         assert!(!group.is_empty(), "group must be nonempty");
         assert!(group.contains(&me), "process must belong to its group");
         let sequencer = *group.iter().min().expect("nonempty");
@@ -106,7 +110,8 @@ impl<P: Clone> AbCastEngine<P> {
                 self.buffered.insert(seq, (origin, payload));
                 // Acknowledge to every other member (the sequencer needs
                 // member acks for its own uniform delivery).
-                for &p in &self.group.clone() {
+                let group = self.group.clone();
+                for &p in group.iter() {
                     if p != self.me {
                         out.push(GcEvent::Send {
                             to: p,
@@ -135,7 +140,8 @@ impl<P: Clone> AbCastEngine<P> {
     fn assign_and_fanout(&mut self, origin: ProcessId, payload: P, out: &mut Vec<GcEvent<P>>) {
         let seq = self.next_assign;
         self.next_assign += 1;
-        for &p in &self.group.clone() {
+        let group = self.group.clone();
+        for &p in group.iter() {
             if p != self.me {
                 out.push(GcEvent::Send {
                     to: p,

@@ -2,6 +2,8 @@
 //! middleware picks its `xcast` primitive (§5, Algorithm 2 line 15) at
 //! runtime.
 
+use std::sync::Arc;
+
 use gdur_sim::ProcessId;
 
 use crate::abcast::AbCastEngine;
@@ -53,7 +55,7 @@ impl<P: Clone> GroupComm<P> {
     /// # Panics
     ///
     /// Panics if `all_replicas` is empty or does not contain `me`.
-    pub fn new(me: ProcessId, all_replicas: Vec<ProcessId>) -> Self {
+    pub fn new(me: ProcessId, all_replicas: impl Into<Arc<[ProcessId]>>) -> Self {
         GroupComm {
             me,
             abcast: AbCastEngine::new(me, all_replicas),
@@ -70,10 +72,13 @@ impl<P: Clone> GroupComm<P> {
     ///
     /// For [`XcastKind::AbCast`] the destination set is ignored: the payload
     /// is ordered across the whole replica group, as Serrano requires.
+    ///
+    /// Callers on the hot path should pass an `Arc<[ProcessId]>` so the
+    /// per-destination fan-out shares one allocation end to end.
     pub fn xcast(
         &mut self,
         kind: XcastKind,
-        dests: Vec<ProcessId>,
+        dests: impl Into<Arc<[ProcessId]>>,
         payload: P,
         out: &mut Vec<GcEvent<P>>,
     ) {
@@ -88,8 +93,13 @@ impl<P: Clone> GroupComm<P> {
 
     /// Plain (reliable in the non-faulty runs we simulate) multicast:
     /// deliver locally if addressed, send to everyone else, no ordering.
-    pub fn multicast(&mut self, dests: Vec<ProcessId>, payload: P, out: &mut Vec<GcEvent<P>>) {
-        for d in dests {
+    pub fn multicast(
+        &mut self,
+        dests: impl Into<Arc<[ProcessId]>>,
+        payload: P,
+        out: &mut Vec<GcEvent<P>>,
+    ) {
+        for &d in dests.into().iter() {
             if d == self.me {
                 out.push(GcEvent::Deliver {
                     origin: self.me,

@@ -1,5 +1,12 @@
 //! Wire messages and engine outputs shared by all group-communication
 //! engines.
+//!
+//! Destination groups travel as `Arc<[ProcessId]>` so fanning one message
+//! out to *n* destinations clones a pointer, not a vector — the wire size
+//! still charges for the full member list (serialization is modeled, the
+//! sharing is a host-side optimization only).
+
+use std::sync::Arc;
 
 use gdur_sim::{ProcessId, WireSize};
 
@@ -59,8 +66,9 @@ pub enum GcMsg<P> {
         /// Message being ordered.
         mid: MsgId,
         /// Full destination group (needed by destinations to report
-        /// delivery metadata upward).
-        dests: Vec<ProcessId>,
+        /// delivery metadata upward), shared across the per-destination
+        /// copies of this message.
+        dests: Arc<[ProcessId]>,
         /// The application payload.
         payload: P,
     },

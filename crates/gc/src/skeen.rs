@@ -23,7 +23,8 @@
 //! comparison of §8.5 measures end to end (Skeen's three delays versus
 //! 2PC's two are what make 2PC faster in the disaster-prone setting).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use gdur_sim::ProcessId;
 
@@ -39,7 +40,8 @@ struct PendingMsg<P> {
 
 #[derive(Debug, Clone)]
 struct SenderState {
-    dests: Vec<ProcessId>,
+    /// Shared with every in-flight `SkeenPropose` of this message.
+    dests: Arc<[ProcessId]>,
     best: SkeenTs,
     awaiting: usize,
 }
@@ -54,6 +56,11 @@ pub struct SkeenEngine<P> {
     sending: BTreeMap<MsgId, SenderState>,
     /// Messages buffered here as a destination, awaiting final order.
     pending: BTreeMap<MsgId, PendingMsg<P>>,
+    /// Delivery-order mirror of `pending`, keyed by `(timestamp, id)` —
+    /// the proposed timestamp while a message awaits its final one. Lets
+    /// `try_deliver` peek the head in `O(log n)` instead of scanning every
+    /// buffered message on each finalization.
+    order: BTreeSet<(SkeenTs, MsgId)>,
 }
 
 impl<P: Clone> SkeenEngine<P> {
@@ -65,6 +72,7 @@ impl<P: Clone> SkeenEngine<P> {
             next_seq: 0,
             sending: BTreeMap::new(),
             pending: BTreeMap::new(),
+            order: BTreeSet::new(),
         }
     }
 
@@ -81,15 +89,16 @@ impl<P: Clone> SkeenEngine<P> {
     /// Panics if `dests` is empty or contains duplicates.
     pub fn multicast(
         &mut self,
-        dests: Vec<ProcessId>,
+        dests: impl Into<Arc<[ProcessId]>>,
         payload: P,
         out: &mut Vec<GcEvent<P>>,
     ) -> MsgId {
+        let dests: Arc<[ProcessId]> = dests.into();
         assert!(
             !dests.is_empty(),
             "multicast needs at least one destination"
         );
-        let mut sorted = dests.clone();
+        let mut sorted = dests.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), dests.len(), "duplicate destinations");
@@ -110,19 +119,23 @@ impl<P: Clone> SkeenEngine<P> {
                 awaiting: dests.len(),
             },
         );
-        for &d in &dests {
-            let msg = GcMsg::SkeenPropose {
-                mid,
-                dests: dests.clone(),
-                payload: payload.clone(),
-            };
+        // Per-destination cost is two Arc bumps plus the payload's own
+        // (cheap, Arc-backed) clone — O(1) in the group size.
+        for &d in dests.iter() {
             if d == self.me {
                 // Process the self-addressed propose inline so a sole-member
                 // group needs no network round at all.
                 let me = self.me;
                 self.handle_propose(me, mid, dests.clone(), payload.clone(), out);
             } else {
-                out.push(GcEvent::Send { to: d, msg });
+                out.push(GcEvent::Send {
+                    to: d,
+                    msg: GcMsg::SkeenPropose {
+                        mid,
+                        dests: dests.clone(),
+                        payload: payload.clone(),
+                    },
+                });
             }
         }
         mid
@@ -161,7 +174,7 @@ impl<P: Clone> SkeenEngine<P> {
         &mut self,
         origin: ProcessId,
         mid: MsgId,
-        _dests: Vec<ProcessId>,
+        _dests: Arc<[ProcessId]>,
         payload: P,
         out: &mut Vec<GcEvent<P>>,
     ) {
@@ -171,7 +184,7 @@ impl<P: Clone> SkeenEngine<P> {
             proposer: self.me,
         };
         let _ = origin; // the true origin is the multicast sender
-        self.pending.insert(
+        if let Some(old) = self.pending.insert(
             mid,
             PendingMsg {
                 origin: mid.sender,
@@ -179,7 +192,10 @@ impl<P: Clone> SkeenEngine<P> {
                 ts,
                 finalized: false,
             },
-        );
+        ) {
+            self.order.remove(&(old.ts, mid));
+        }
+        self.order.insert((ts, mid));
         if mid.sender == self.me {
             self.handle_proposal(mid, ts, out);
         } else {
@@ -200,7 +216,7 @@ impl<P: Clone> SkeenEngine<P> {
         state.awaiting -= 1;
         if state.awaiting == 0 {
             let state = self.sending.remove(&mid).expect("present");
-            for &d in &state.dests {
+            for &d in state.dests.iter() {
                 if d == self.me {
                     self.handle_final(mid, state.best, out);
                 } else {
@@ -221,8 +237,10 @@ impl<P: Clone> SkeenEngine<P> {
         // here is ordered after it.
         self.clock = self.clock.max(ts.clock);
         if let Some(p) = self.pending.get_mut(&mid) {
+            self.order.remove(&(p.ts, mid));
             p.ts = ts;
             p.finalized = true;
+            self.order.insert((ts, mid));
         }
         self.try_deliver(out);
     }
@@ -230,17 +248,17 @@ impl<P: Clone> SkeenEngine<P> {
     /// Delivers every buffered message that is finalized and minimal among
     /// all buffered messages (comparing final timestamps for finalized ones
     /// and proposed timestamps for the rest, with the message id as a final
-    /// tiebreaker for determinism).
+    /// tiebreaker for determinism — the key of the `order` index).
     fn try_deliver(&mut self, out: &mut Vec<GcEvent<P>>) {
         loop {
-            let Some((&mid, head)) = self.pending.iter().min_by_key(|(mid, p)| (p.ts, **mid))
-            else {
+            let Some(&(ts, mid)) = self.order.first() else {
                 return;
             };
+            let head = self.pending.get(&mid).expect("order mirrors pending");
             if !head.finalized {
                 return;
             }
-            let _ = head;
+            self.order.remove(&(ts, mid));
             let p = self.pending.remove(&mid).expect("present");
             out.push(GcEvent::Deliver {
                 origin: p.origin,
@@ -378,7 +396,7 @@ mod tests {
             ProcessId(0),
             GcMsg::SkeenPropose {
                 mid: m1,
-                dests: vec![ProcessId(2)],
+                dests: vec![ProcessId(2)].into(),
                 payload: 1,
             },
             &mut out,
@@ -387,7 +405,7 @@ mod tests {
             ProcessId(1),
             GcMsg::SkeenPropose {
                 mid: m2,
-                dests: vec![ProcessId(2)],
+                dests: vec![ProcessId(2)].into(),
                 payload: 2,
             },
             &mut out,

@@ -209,6 +209,20 @@ pub fn run_point(exp: &Experiment, scale: &Scale, clients_per_site: usize) -> Po
     run_point_impl(exp, scale, clients_per_site, false).0
 }
 
+/// Like [`run_point`], but also returns the kernel's [`gdur_sim::SimStats`]
+/// for the whole run (warm-up included). The perf gate divides
+/// `events_processed` by host wall-clock to report events/sec; because the
+/// stats are a pure function of the seed, they double as a cheap
+/// bit-identity check across optimisation work.
+pub fn run_point_events(
+    exp: &Experiment,
+    scale: &Scale,
+    clients_per_site: usize,
+) -> (PointResult, gdur_sim::SimStats) {
+    let (point, stats, _) = run_point_full(exp, scale, clients_per_site, false);
+    (point, stats)
+}
+
 /// Like [`run_point`], but with an observability sink attached for the whole
 /// run: returns the point result, its phase breakdown (measurement window
 /// only), and the full event trace. Tracing never consumes virtual time or
@@ -229,6 +243,20 @@ fn run_point_impl(
     clients_per_site: usize,
     traced: bool,
 ) -> (PointResult, Option<(PhaseBreakdown, Vec<ObsEvent>)>) {
+    let (point, _, extra) = run_point_full(exp, scale, clients_per_site, traced);
+    (point, extra)
+}
+
+fn run_point_full(
+    exp: &Experiment,
+    scale: &Scale,
+    clients_per_site: usize,
+    traced: bool,
+) -> (
+    PointResult,
+    gdur_sim::SimStats,
+    Option<(PhaseBreakdown, Vec<ObsEvent>)>,
+) {
     let placement = exp.placement.placement(exp.sites);
     let partitions = placement.partitions() as u64;
     let total_keys = scale.keys_per_partition * partitions;
@@ -287,12 +315,13 @@ fn run_point_impl(
         .collect();
     let clients_total = clients_per_site * exp.sites;
     let point = summarize(&records, cluster.now() - warm_end, clients_total);
+    let stats = cluster.sim().stats();
     let extra = trace.map(|t| {
         let events = t.take();
         let breakdown = PhaseBreakdown::from_events(&events, cluster.topology(), warm_end);
         (breakdown, events)
     });
-    (point, extra)
+    (point, stats, extra)
 }
 
 /// Runs the whole client sweep of an experiment, one OS thread per point.

@@ -21,8 +21,8 @@ pub mod plot;
 pub mod report;
 
 pub use experiment::{
-    max_throughput, run_point, run_point_traced, run_sweep, Experiment, PlacementKind, PointResult,
-    Scale, WorkloadKind,
+    max_throughput, run_point, run_point_events, run_point_traced, run_sweep, Experiment,
+    PlacementKind, PointResult, Scale, WorkloadKind,
 };
 pub use figures::{
     all_figures, fig3a, fig3b, fig4, fig5, fig6a, fig6b, Figure, FigurePanel, Metric,

@@ -12,6 +12,7 @@
 //! dependability tests (§5.3 / §8.5 of the paper) use to contrast the
 //! blocking behaviour of 2PC with quorum-based group communication.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
@@ -161,9 +162,14 @@ impl Topology {
 }
 
 /// Shared handle that injects and heals inter-site partitions at runtime.
+///
+/// [`PartitionControl::is_cut`] sits on the per-message delay path, so the
+/// handle keeps a lock-free count of active cuts: the common no-partition
+/// deployment answers with one atomic load and never touches the mutex.
 #[derive(Debug, Clone, Default)]
 pub struct PartitionControl {
     cut: Arc<Mutex<Vec<(SiteId, SiteId)>>>,
+    active: Arc<AtomicUsize>,
 }
 
 impl PartitionControl {
@@ -178,17 +184,25 @@ impl PartitionControl {
         let mut cuts = self.cut.lock().unwrap();
         if !cuts.contains(&key) {
             cuts.push(key);
+            // Updated while holding the lock so the count never lags the
+            // list it summarizes.
+            self.active.store(cuts.len(), Ordering::Release);
         }
     }
 
     /// Reconnects sites `a` and `b`.
     pub fn heal(&self, a: SiteId, b: SiteId) {
         let key = if a <= b { (a, b) } else { (b, a) };
-        self.cut.lock().unwrap().retain(|k| *k != key);
+        let mut cuts = self.cut.lock().unwrap();
+        cuts.retain(|k| *k != key);
+        self.active.store(cuts.len(), Ordering::Release);
     }
 
     /// True if the pair is currently disconnected.
     pub fn is_cut(&self, a: SiteId, b: SiteId) -> bool {
+        if self.active.load(Ordering::Acquire) == 0 {
+            return false;
+        }
         let key = if a <= b { (a, b) } else { (b, a) };
         self.cut.lock().unwrap().contains(&key)
     }

@@ -118,10 +118,10 @@ impl Histogram {
     }
 
     /// Nearest-rank quantile: the upper bound of the bucket holding rank
-    /// `⌈p·n⌉` (clamped to `[1, n]`). Returns 0 when empty.
-    ///
-    /// `quantile(1.0)` is an upper bound for the true maximum; use
-    /// [`Histogram::max`] for the exact one.
+    /// `⌈p·n⌉` (clamped to `[1, n]`), itself clamped to the exact recorded
+    /// maximum — `quantile(p) <= max()` for every `p`, so quantiles never
+    /// report a value larger than anything actually observed. Returns 0
+    /// when empty.
     pub fn quantile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -131,7 +131,9 @@ impl Histogram {
         for (idx, c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Self::bucket_high(idx);
+                // The bucket upper bound can exceed the true maximum when
+                // the rank falls in the max's (log-width) bucket.
+                return Self::bucket_high(idx).min(self.max);
             }
         }
         self.max
@@ -202,16 +204,39 @@ mod tests {
         for v in 1..=100u64 {
             h.record(v);
         }
-        // Sub-64 ranks are exact; above, the bucket upper bound is reported.
+        // Sub-64 ranks are exact; above, the bucket upper bound is
+        // reported, clamped to the recorded maximum.
         assert_eq!(h.quantile(0.5), 50);
         assert_eq!(h.quantile(0.99), 99);
-        assert_eq!(
-            h.quantile(1.0),
-            Histogram::bucket_high(Histogram::bucket_of(100))
-        );
+        assert_eq!(h.quantile(1.0), 100, "clamped to max, not bucket_high");
         assert_eq!(h.count(), 100);
         assert_eq!(h.mean(), 50.5);
         assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        // Log buckets above 64 have width > 1, so bucket_high can exceed
+        // the true maximum for *every* p whose rank lands in max's bucket,
+        // not just p = 1.0. Exhaustively check the invariant.
+        let mut h = Histogram::new();
+        for v in [65u64, 66, 130, 1 << 20, (1 << 20) + 1] {
+            h.record(v);
+        }
+        for i in 0..=100 {
+            let p = i as f64 / 100.0;
+            assert!(
+                h.quantile(p) <= h.max(),
+                "quantile({p}) = {} > max {}",
+                h.quantile(p),
+                h.max()
+            );
+        }
+        // A single sample in a wide bucket: every quantile is that sample.
+        let mut single = Histogram::new();
+        single.record(1000);
+        assert_eq!(single.quantile(0.5), 1000);
+        assert_eq!(single.quantile(1.0), 1000);
     }
 
     #[test]

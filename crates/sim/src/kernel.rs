@@ -97,8 +97,10 @@ pub struct Context<'a, M> {
 
 enum Output<M> {
     Send {
+        /// Boxed at the send site; the allocation rides unmoved into the
+        /// arrival job the kernel schedules for it.
         to: ProcessId,
-        msg: M,
+        msg: Box<M>,
         extra: SimDuration,
     },
     Timer {
@@ -138,7 +140,7 @@ impl<'a, M> Context<'a, M> {
     pub fn send(&mut self, to: ProcessId, msg: M) {
         self.outputs.push(Output::Send {
             to,
-            msg,
+            msg: Box::new(msg),
             extra: SimDuration::ZERO,
         });
     }
@@ -146,7 +148,11 @@ impl<'a, M> Context<'a, M> {
     /// Like [`Context::send`] but adds `extra` artificial delay, e.g. to
     /// model batching or deliberate backoff.
     pub fn send_delayed(&mut self, to: ProcessId, msg: M, extra: SimDuration) {
-        self.outputs.push(Output::Send { to, msg, extra });
+        self.outputs.push(Output::Send {
+            to,
+            msg: Box::new(msg),
+            extra,
+        });
     }
 
     /// Schedules [`Actor::on_timer`] with `tag` to fire `after` the end of
@@ -197,9 +203,14 @@ impl<'a, M> Context<'a, M> {
     }
 }
 
+/// A message payload is boxed at the send site and the same allocation
+/// rides through the event heap and the actor's pending queue until the
+/// actor consumes it: queue shuffles move a few words instead of the
+/// payload (~200 bytes for a realistic `Msg` enum), and timer/start jobs
+/// allocate nothing at all.
 enum Job<M> {
     Start,
-    Message { from: ProcessId, msg: M },
+    Message { from: ProcessId, msg: Box<M> },
     Timer { id: u64, tag: u64 },
 }
 
@@ -208,6 +219,10 @@ enum EventKind<M> {
     Dispatch(ProcessId),
 }
 
+/// Priority-queue entry. The ordering key `(time, seq)` lives inline so
+/// heap comparisons never chase a pointer; the event body is small (the
+/// arrival message is boxed), so sifts move a few words. The ordering
+/// itself is untouched, so schedules are bit-identical.
 struct QueuedEvent<M> {
     time: SimTime,
     seq: u64,
@@ -242,6 +257,10 @@ struct ActorSlot<A: Actor> {
     crashed: bool,
     next_timer: u64,
     canceled_timers: BTreeSet<u64>,
+    /// Timer ids set but not yet arrived. Gates cancel-marker insertion:
+    /// canceling a timer that already fired (or was dropped by a crash)
+    /// must not strand a marker in `canceled_timers` forever.
+    outstanding_timers: BTreeSet<u64>,
 }
 
 /// Aggregate statistics about a finished (or in-flight) simulation run.
@@ -326,6 +345,7 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
             crashed: false,
             next_timer: 0,
             canceled_timers: BTreeSet::new(),
+            outstanding_timers: BTreeSet::new(),
         });
         id
     }
@@ -375,6 +395,12 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
 
     /// Marks `id` crashed: its pending jobs are discarded and subsequent
     /// message and timer arrivals are dropped until [`Simulation::restart`].
+    ///
+    /// Timer bookkeeping survives the crash intact: cancel markers for
+    /// in-flight timers stay armed (a canceled timer must not fire after a
+    /// restart), and every marker is retired when its timer arrives even
+    /// while crashed, so no stale state accumulates across crash/restart
+    /// cycles.
     pub fn crash(&mut self, id: ProcessId) {
         let slot = &mut self.actors[id.index()];
         slot.crashed = true;
@@ -399,7 +425,16 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
     /// Panics if `at` is in the past.
     pub fn inject(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg, at: SimTime) {
         assert!(at >= self.time, "cannot inject into the past");
-        self.push(at, EventKind::Arrival(to, Job::Message { from, msg }));
+        self.push(
+            at,
+            EventKind::Arrival(
+                to,
+                Job::Message {
+                    from,
+                    msg: Box::new(msg),
+                },
+            ),
+        );
     }
 
     fn push(&mut self, time: SimTime, kind: EventKind<A::Msg>) {
@@ -423,10 +458,21 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
 
     /// Runs until the event queue drains, the horizon `until` is reached, or
     /// an actor halts the simulation. Returns the final virtual time.
+    ///
+    /// The clock always ends at `until` whether the horizon was hit or the
+    /// queue drained early, so final virtual times compare consistently
+    /// across runs. The exceptions keep the clock at the last event time:
+    /// [`Simulation::run_until_idle`] (there is no meaningful horizon) and
+    /// a [`Context::halt`] (the stop is deliberate and mid-run).
     pub fn run_until(&mut self, until: SimTime) -> SimTime {
         self.ensure_started();
         while !self.halted {
             let Some(Reverse(ev)) = self.queue.peek() else {
+                // Queue drained before the horizon: advance to it anyway,
+                // mirroring the horizon-hit path below.
+                if until != SimTime::MAX && until > self.time {
+                    self.time = until;
+                }
                 break;
             };
             if ev.time > until {
@@ -454,16 +500,20 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
 
     fn arrive(&mut self, to: ProcessId, seq: u64, job: Job<A::Msg>) {
         let slot = &mut self.actors[to.index()];
+        // Timer bookkeeping runs whether or not the actor is crashed: the
+        // arrival is the only event that retires a timer id, so skipping
+        // it while crashed would strand cancel markers forever.
+        if let Job::Timer { id, .. } = &job {
+            slot.outstanding_timers.remove(id);
+            if slot.canceled_timers.remove(id) {
+                return;
+            }
+        }
         if slot.crashed {
             if matches!(job, Job::Message { .. }) {
                 self.stats.messages_dropped += 1;
             }
             return;
-        }
-        if let Job::Timer { id, .. } = &job {
-            if slot.canceled_timers.remove(id) {
-                return;
-            }
         }
         if matches!(job, Job::Message { .. }) {
             self.stats.messages_delivered += 1;
@@ -527,7 +577,7 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
             };
             match job {
                 Job::Start => slot.actor.on_start(&mut ctx),
-                Job::Message { from, msg } => slot.actor.on_message(&mut ctx, from, msg),
+                Job::Message { from, msg } => slot.actor.on_message(&mut ctx, from, *msg),
                 Job::Timer { tag, .. } => slot.actor.on_timer(&mut ctx, tag),
             }
             consumed = ctx.consumed;
@@ -560,13 +610,20 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
                     tag,
                     after,
                 } => {
+                    self.actors[id.index()].outstanding_timers.insert(tid);
                     self.push(
                         end + after,
                         EventKind::Arrival(id, Job::Timer { id: tid, tag }),
                     );
                 }
                 Output::CancelTimer(tid) => {
-                    self.actors[id.index()].canceled_timers.insert(tid);
+                    // Mark only timers still in flight; a cancel that
+                    // races the firing (or a crash-time drop) is a no-op
+                    // rather than a leaked marker.
+                    let slot = &mut self.actors[id.index()];
+                    if slot.outstanding_timers.contains(&tid) {
+                        slot.canceled_timers.insert(tid);
+                    }
                 }
             }
         }
@@ -852,6 +909,117 @@ mod tests {
             sim.actor(a).log.clone()
         }
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn crash_cancel_restart_retires_markers() {
+        // An actor arms two timers and cancels the first; it then crashes
+        // before either arrives. Both arrivals happen while crashed: the
+        // canceled one must still retire its marker (the old code returned
+        // on `crashed` before the cancel check, stranding the marker
+        // forever), and after a restart the actor works normally.
+        struct T {
+            fired: Vec<u64>,
+        }
+        impl Actor for T {
+            type Msg = Ping;
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                let first = ctx.set_timer(SimDuration::from_millis(1), 7);
+                ctx.cancel_timer(first);
+                ctx.set_timer(SimDuration::from_millis(2), 8);
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, Ping>, _: ProcessId, _: Ping) {
+                ctx.set_timer(SimDuration::from_millis(1), 9);
+            }
+            fn on_timer(&mut self, _: &mut Context<'_, Ping>, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut sim = Simulation::new(ZeroLatency, 1);
+        let t = sim.spawn(T { fired: vec![] }, Cores::Fixed(1));
+        sim.run_until(SimTime::from_nanos(500_000));
+        sim.crash(t);
+        sim.run_until(SimTime::from_nanos(2_500_000));
+        // Both timers arrived while crashed: neither fired, and no cancel
+        // marker (or outstanding-timer entry) is left behind.
+        assert!(sim.actor(t).fired.is_empty());
+        assert!(
+            sim.actors[t.index()].canceled_timers.is_empty(),
+            "cancel marker stranded across the crash"
+        );
+        assert!(sim.actors[t.index()].outstanding_timers.is_empty());
+        // Restart and drive one more timer through: normal service resumes.
+        sim.restart(t);
+        sim.inject(ProcessId(99), t, Ping(0), SimTime::from_nanos(3_000_000));
+        sim.run_until_idle();
+        assert_eq!(sim.actor(t).fired, vec![9]);
+        assert!(sim.actors[t.index()].canceled_timers.is_empty());
+        assert!(sim.actors[t.index()].outstanding_timers.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_leaves_no_marker() {
+        // Canceling a timer that already fired must be a no-op, not a
+        // forever-stranded marker in `canceled_timers`.
+        struct T {
+            timer: Option<u64>,
+            fired: Vec<u64>,
+        }
+        impl Actor for T {
+            type Msg = Ping;
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                self.timer = Some(ctx.set_timer(SimDuration::from_millis(1), 7));
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, Ping>, _: ProcessId, _: Ping) {
+                ctx.cancel_timer(self.timer.take().expect("timer armed"));
+            }
+            fn on_timer(&mut self, _: &mut Context<'_, Ping>, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut sim = Simulation::new(ZeroLatency, 1);
+        let t = sim.spawn(
+            T {
+                timer: None,
+                fired: vec![],
+            },
+            Cores::Fixed(1),
+        );
+        // The timer fires at 1ms; the cancel arrives at 2ms — too late.
+        sim.inject(ProcessId(99), t, Ping(0), SimTime::from_nanos(2_000_000));
+        sim.run_until_idle();
+        assert_eq!(sim.actor(t).fired, vec![7]);
+        assert!(
+            sim.actors[t.index()].canceled_timers.is_empty(),
+            "cancel-after-fire stranded a marker"
+        );
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_queue_drains() {
+        // The ping-pong finishes at 40ms; a 100ms horizon must still leave
+        // the clock at 100ms, matching the horizon-hit path.
+        let mut sim = Simulation::new(UniformLatency(SimDuration::from_millis(10)), 1);
+        let a = sim.spawn(Echo::new(), Cores::Fixed(1));
+        let b = sim.spawn(Echo::new(), Cores::Fixed(1));
+        sim.actor_mut(a).peer = Some(b);
+        sim.actor_mut(a).send_on_start = true;
+        let t = sim.run_until(SimTime::from_nanos(100_000_000));
+        assert_eq!(t, SimTime::from_nanos(100_000_000));
+        assert_eq!(sim.now(), SimTime::from_nanos(100_000_000));
+        // A later, earlier-than-now horizon never moves the clock backwards.
+        assert_eq!(
+            sim.run_until(SimTime::from_nanos(50_000_000)),
+            SimTime::from_nanos(100_000_000)
+        );
+        // run_until_idle keeps the last-event clock (no horizon to advance
+        // to): a fresh drained run ends at the final event time.
+        let mut sim = Simulation::new(UniformLatency(SimDuration::from_millis(10)), 1);
+        let a = sim.spawn(Echo::new(), Cores::Fixed(1));
+        let b = sim.spawn(Echo::new(), Cores::Fixed(1));
+        sim.actor_mut(a).peer = Some(b);
+        sim.actor_mut(a).send_on_start = true;
+        assert_eq!(sim.run_until_idle(), SimTime::from_nanos(40_000_000));
     }
 
     #[test]

@@ -10,11 +10,84 @@
 //! * [`MultiVersionStore::latest_compatible`] — `choose_cons` under greedy
 //!   GMV/PDV snapshot assembly.
 
-use std::collections::HashMap;
-
 use gdur_versioning::{Stamp, VersionVec};
 
 use crate::types::{Key, TxId, Value};
+
+/// Interned key handle: an index into the store's dense slot table.
+///
+/// Keys are interned on first [`MultiVersionStore::seed`]; every read path
+/// then resolves `Key → Symbol` with one multiply-shift hash and an
+/// integer-compare probe — no SipHash, no per-lookup hasher state — and
+/// indexes a dense `Vec`. `u32` bounds the store at ~4 billion distinct
+/// keys, far beyond the paper's workloads.
+type Symbol = u32;
+
+/// Fibonacci multiplier (golden-ratio fraction of 2⁶⁴) — spreads the
+/// workload's dense integer key ids uniformly over the table.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Open-addressing `Key → Symbol` index with linear probing.
+///
+/// Slots hold `symbol + 1` (`0` = empty), so a fresh table is all-zeros.
+/// The key list itself lives in the store (`keys[symbol]`), keeping this
+/// table a flat `Vec<u32>` that rebuilds trivially on growth. Determinism:
+/// probe order is a pure function of the inserted key set, and iteration
+/// happens over the dense key list (insertion order), never this table.
+#[derive(Debug, Clone)]
+struct KeyIndex {
+    table: Vec<u32>,
+    /// `64 - log2(table.len())`: the multiply-shift bucket extractor.
+    shift: u32,
+}
+
+impl KeyIndex {
+    fn with_log2(log2: u32) -> Self {
+        KeyIndex {
+            table: vec![0; 1 << log2],
+            shift: 64 - log2,
+        }
+    }
+
+    fn new() -> Self {
+        Self::with_log2(4)
+    }
+
+    /// Finds `key`'s symbol, or the empty slot where it would be inserted.
+    fn probe(&self, key: Key, keys: &[Key]) -> Result<Symbol, usize> {
+        let mut i = (key.0.wrapping_mul(FIB) >> self.shift) as usize;
+        let mask = self.table.len() - 1;
+        loop {
+            match self.table[i] {
+                0 => return Err(i),
+                s => {
+                    if keys[(s - 1) as usize] == key {
+                        return Ok(s - 1);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn get(&self, key: Key, keys: &[Key]) -> Option<Symbol> {
+        self.probe(key, keys).ok()
+    }
+
+    /// Inserts a key known to be absent; `keys` must not yet contain it.
+    fn insert(&mut self, key: Key, sym: Symbol, keys: &[Key]) {
+        // Keep load ≤ 1/2 so probe chains stay short.
+        if (keys.len() + 1) * 2 > self.table.len() {
+            *self = Self::with_log2(self.table.len().trailing_zeros() + 1);
+            for (s, &k) in keys.iter().enumerate() {
+                let slot = self.probe(k, keys).expect_err("rebuilding, key absent");
+                self.table[slot] = s as u32 + 1;
+            }
+        }
+        let slot = self.probe(key, keys).expect_err("caller checked absence");
+        self.table[slot] = sym + 1;
+    }
+}
 
 /// One committed version of an object.
 #[derive(Debug, Clone)]
@@ -38,9 +111,18 @@ pub const SEED_TX: TxId = TxId {
 
 /// A replica-local multi-version store over the keys of the partitions the
 /// replica hosts.
+///
+/// Keys are interned to dense [`Symbol`]s at seed time, so every lookup on
+/// the hot read/certify/install paths is one integer hash-probe plus a
+/// dense-`Vec` index. Key iteration follows seed (insertion) order —
+/// deterministic, unlike the `HashMap` this replaced.
 #[derive(Debug, Clone)]
 pub struct MultiVersionStore {
-    data: HashMap<Key, Vec<VersionRecord>>,
+    /// Symbol → key (the interner's reverse map, also the iteration order).
+    keys: Vec<Key>,
+    /// Symbol → committed versions in install order.
+    slots: Vec<Vec<VersionRecord>>,
+    index: KeyIndex,
     /// Cap on retained versions per key (garbage collection); the paper's
     /// `post_commit` hook is where real systems trigger this.
     max_versions: usize,
@@ -59,9 +141,17 @@ impl MultiVersionStore {
     /// An empty store.
     pub fn new() -> Self {
         MultiVersionStore {
-            data: HashMap::new(),
+            keys: Vec::new(),
+            slots: Vec::new(),
+            index: KeyIndex::new(),
             max_versions: Self::DEFAULT_MAX_VERSIONS,
         }
+    }
+
+    /// Resolves a key to its interned symbol, if seeded.
+    #[inline]
+    fn sym(&self, key: Key) -> Option<usize> {
+        self.index.get(key, &self.keys).map(|s| s as usize)
     }
 
     /// Sets the per-key version-retention cap.
@@ -75,9 +165,20 @@ impl MultiVersionStore {
         self
     }
 
-    /// Loads the initial version of `key` (seq 0, seed writer).
+    /// Loads the initial version of `key` (seq 0, seed writer), interning
+    /// the key on first sight.
     pub fn seed(&mut self, key: Key, value: Value, stamp: Stamp) {
-        self.data.entry(key).or_default().push(VersionRecord {
+        let s = match self.index.get(key, &self.keys) {
+            Some(s) => s as usize,
+            None => {
+                let sym = self.keys.len() as Symbol;
+                self.index.insert(key, sym, &self.keys);
+                self.keys.push(key);
+                self.slots.push(Vec::new());
+                sym as usize
+            }
+        };
+        self.slots[s].push(VersionRecord {
             value,
             stamp,
             seq: 0,
@@ -87,22 +188,22 @@ impl MultiVersionStore {
 
     /// True if the replica holds a copy of `key`.
     pub fn contains_key(&self, key: Key) -> bool {
-        self.data.contains_key(&key)
+        self.sym(key).is_some()
     }
 
     /// Number of keys stored here.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.keys.len()
     }
 
     /// True if the store holds no keys.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.keys.is_empty()
     }
 
     /// The most recent committed version of `key` (`choose_last`).
     pub fn latest(&self, key: Key) -> Option<&VersionRecord> {
-        self.data.get(&key).and_then(|v| v.last())
+        self.slots[self.sym(key)?].last()
     }
 
     /// Per-key sequence of the latest version, or `None` if absent.
@@ -114,8 +215,7 @@ impl MultiVersionStore {
     /// vector `snap` (VTS semantics: version visible iff its origin entry
     /// is covered by the snapshot).
     pub fn latest_visible(&self, key: Key, snap: &VersionVec) -> Option<&VersionRecord> {
-        self.data
-            .get(&key)?
+        self.slots[self.sym(key)?]
             .iter()
             .rev()
             .find(|r| r.stamp.visible_in(snap))
@@ -128,8 +228,7 @@ impl MultiVersionStore {
         key: Key,
         priors: &[Stamp],
     ) -> Option<&'a VersionRecord> {
-        self.data
-            .get(&key)?
+        self.slots[self.sym(key)?]
             .iter()
             .rev()
             .find(|r| priors.iter().all(|p| r.stamp.compatible(p)))
@@ -138,12 +237,12 @@ impl MultiVersionStore {
     /// All retained versions of `key` in install order (oldest first), for
     /// callers that apply their own snapshot predicate.
     pub fn versions(&self, key: Key) -> Option<&[VersionRecord]> {
-        self.data.get(&key).map(|v| v.as_slice())
+        Some(self.slots[self.sym(key)?].as_slice())
     }
 
     /// A specific historical version by per-key sequence.
     pub fn version_at(&self, key: Key, seq: u64) -> Option<&VersionRecord> {
-        self.data.get(&key)?.iter().find(|r| r.seq == seq)
+        self.slots[self.sym(key)?].iter().find(|r| r.seq == seq)
     }
 
     /// Installs a new committed version of `key`, returning its per-key
@@ -155,10 +254,10 @@ impl MultiVersionStore {
     /// Panics if `key` was never seeded: replicas only apply after-values
     /// for keys of partitions they host.
     pub fn install(&mut self, key: Key, value: Value, stamp: Stamp, writer: TxId) -> u64 {
-        let versions = self
-            .data
-            .get_mut(&key)
+        let s = self
+            .sym(key)
             .unwrap_or_else(|| panic!("install on unknown key {key}"));
+        let versions = &mut self.slots[s];
         let seq = versions.last().map(|r| r.seq + 1).unwrap_or(0);
         versions.push(VersionRecord {
             value,
@@ -173,14 +272,14 @@ impl MultiVersionStore {
         seq
     }
 
-    /// Iterates over keys held by this replica.
+    /// Iterates over keys held by this replica, in seed (insertion) order.
     pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
-        self.data.keys().copied()
+        self.keys.iter().copied()
     }
 
     /// Number of retained versions of `key`.
     pub fn version_count(&self, key: Key) -> usize {
-        self.data.get(&key).map(|v| v.len()).unwrap_or(0)
+        self.sym(key).map(|s| self.slots[s].len()).unwrap_or(0)
     }
 }
 
@@ -241,6 +340,27 @@ mod tests {
         assert_eq!(s.version_count(Key(1)), 2);
         assert!(s.version_at(Key(1), 0).is_none(), "seed GCed");
         assert_eq!(s.latest_seq(Key(1)), Some(2));
+    }
+
+    #[test]
+    fn interner_survives_growth_and_iterates_in_seed_order() {
+        // Enough keys to force several KeyIndex rebuilds (initial capacity
+        // 16, load ≤ 1/2), with ids spread to exercise probe collisions.
+        let mut s = MultiVersionStore::new();
+        let ids: Vec<u64> = (0..300u64).map(|i| i * 1_000_003 % 7919).collect();
+        for &id in &ids {
+            s.seed(Key(id), Value::from_u64(id), ts(0));
+        }
+        assert_eq!(s.len(), ids.len());
+        for &id in &ids {
+            assert!(s.contains_key(Key(id)), "lost key {id} across growth");
+            assert_eq!(s.latest(Key(id)).unwrap().value.as_u64(), Some(id));
+        }
+        assert!(!s.contains_key(Key(u64::MAX)));
+        assert!(s.latest(Key(u64::MAX)).is_none());
+        // Iteration order is the seed order, not hash order.
+        let iterated: Vec<u64> = s.keys().map(|k| k.0).collect();
+        assert_eq!(iterated, ids);
     }
 
     #[test]

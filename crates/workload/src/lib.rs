@@ -321,4 +321,23 @@ mod tests {
     fn tiny_keyspace_rejected() {
         let _ = YcsbSource::new(WorkloadSpec::b(), 4, 4, 0, 0.5);
     }
+
+    #[test]
+    fn zipfian_sampler_is_shared_across_clients() {
+        // The harness builds one WorkloadSpec per deployment and clones it
+        // per client; the clone must share the sampler (its construction is
+        // an O(n) zeta sum), not rebuild it.
+        let spec = WorkloadSpec::c(10_000);
+        let KeyDist::Zipfian(a) = &spec.dist else {
+            panic!("workload C must be zipfian");
+        };
+        let cloned = spec.clone();
+        let KeyDist::Zipfian(b) = &cloned.dist else {
+            panic!("clone changed the distribution");
+        };
+        assert!(
+            Arc::ptr_eq(a, b),
+            "cloning a WorkloadSpec must share one Zipfian per deployment"
+        );
+    }
 }
