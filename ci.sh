@@ -1,28 +1,64 @@
 #!/usr/bin/env sh
-# Local CI gate: formatting, lints (rustc + clippy + detlint), build, tests.
-# Everything runs offline — the vendored shims under vendor/ stand in for
-# the registry crates (see README "Offline build").
+# Local CI gate: formatting, lints (rustc + clippy + detlint), build, tests,
+# smoke gates. Everything runs offline — the vendored shims under vendor/
+# stand in for the registry crates (see README "Offline build").
+#
+# Tiers:
+#   ./ci.sh --fast   formatting, clippy, debug tests — the edit-loop tier
+#   ./ci.sh          the full gate: fast tier + release build/tests,
+#                    detlint --dynamic, obs_smoke, chaos_smoke, perf_gate
+#
+# Each step reports its wall-clock seconds; SKIP_PERF_GATE=1 skips the
+# wall-clock regression gate (it only means something on an idle machine).
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+FAST=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) FAST=1 ;;
+        *) echo "ci.sh: unknown argument: $arg (supported: --fast)" >&2; exit 2 ;;
+    esac
+done
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+# step <label> <cmd...>: run a step and report its wall-clock duration.
+step() {
+    _label=$1
+    shift
+    echo "==> $_label"
+    _t0=$(date +%s)
+    "$@"
+    _t1=$(date +%s)
+    echo "    ($_label: $((_t1 - _t0))s)"
+}
 
-echo "==> cargo build --release"
-cargo build --release
+TOTAL0=$(date +%s)
 
-echo "==> cargo test"
-cargo test -q --release
+step "cargo fmt --check" cargo fmt --check
 
-echo "==> detlint (static + dynamic determinism lint)"
-cargo run -q --release -p gdur-analysis --bin detlint -- --dynamic
+step "cargo clippy --all-targets -- -D warnings" \
+    cargo clippy --all-targets -- -D warnings
 
-echo "==> obs_smoke (traced run: schema, convoy/abort invariants, golden diff)"
-cargo run -q --release -p gdur-bench --bin obs_smoke
+step "cargo test (debug)" cargo test -q
+
+if [ "$FAST" = "1" ]; then
+    echo "==> ci --fast: all checks passed ($(($(date +%s) - TOTAL0))s)"
+    exit 0
+fi
+
+step "cargo build --release" cargo build --release
+
+step "cargo test (release)" cargo test -q --release
+
+step "detlint (static + dynamic determinism lint, incl. chaos reruns)" \
+    cargo run -q --release -p gdur-analysis --bin detlint -- --dynamic
+
+step "obs_smoke (traced run: schema, convoy/abort invariants, golden diff)" \
+    cargo run -q --release -p gdur-bench --bin obs_smoke
+
+step "chaos_smoke (fault schedules: crash/partition/heal/restart, golden diff)" \
+    cargo run -q --release -p gdur-bench --bin chaos_smoke
 
 # Wall-clock regression gate against the blessed reference in
 # BENCH_sim.json. Skippable because wall-clock is only meaningful on an
@@ -30,8 +66,8 @@ cargo run -q --release -p gdur-bench --bin obs_smoke
 if [ "${SKIP_PERF_GATE:-0}" = "1" ]; then
     echo "==> perf_gate: skipped (SKIP_PERF_GATE=1)"
 else
-    echo "==> perf_gate (wall-clock + kernel-event check vs blessed reference)"
-    cargo run -q --release -p gdur-bench --bin perf_gate -- --check
+    step "perf_gate (wall-clock + kernel-event check vs blessed reference)" \
+        cargo run -q --release -p gdur-bench --bin perf_gate -- --check
 fi
 
-echo "==> ci: all checks passed"
+echo "==> ci: all checks passed ($(($(date +%s) - TOTAL0))s)"

@@ -49,6 +49,14 @@ fn main() {
                 }
             }
         }
+        println!("detlint: running the chaos fault-schedule library twice …");
+        match gdur_analysis::chaos_same_seed_check() {
+            Ok(()) => println!("detlint: chaos runs deterministic (traces byte-identical)"),
+            Err(e) => {
+                println!("detlint: DETERMINISM VIOLATION: {e}");
+                failed = true;
+            }
+        }
     }
 
     std::process::exit(if failed { 1 } else { 0 });

@@ -95,14 +95,19 @@ impl Allowlist {
 }
 
 /// The crate subtrees whose sources must be deterministic: everything that
-/// executes inside the simulation. Benches and the harness legitimately
-/// read wall clocks; the consistency oracle runs offline.
+/// executes inside the simulation, including the crash-recovery paths (the
+/// write-ahead log in `crates/persist` and the fault-schedule runner —
+/// same-seed chaos runs must be byte-identical too). Benches and the rest
+/// of the harness legitimately read wall clocks; the consistency oracle
+/// runs offline. Entries may name a single file instead of a subtree.
 pub const DETERMINISTIC_ROOTS: &[&str] = &[
     "crates/sim/src",
     "crates/core/src",
     "crates/gc/src",
+    "crates/persist/src",
     "crates/protocols/src",
     "crates/obs/src",
+    "crates/harness/src/fault.rs",
 ];
 
 /// Scans the [`DETERMINISTIC_ROOTS`] under `workspace_root`, returning
@@ -111,7 +116,12 @@ pub fn scan_workspace(workspace_root: &Path, allow: &Allowlist) -> Vec<Finding> 
     let mut findings = Vec::new();
     for root in DETERMINISTIC_ROOTS {
         let dir = workspace_root.join(root);
-        for file in rust_files(&dir) {
+        let files = if dir.is_file() {
+            vec![dir]
+        } else {
+            rust_files(&dir)
+        };
+        for file in files {
             let Ok(text) = fs::read_to_string(&file) else {
                 continue;
             };

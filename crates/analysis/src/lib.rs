@@ -109,6 +109,44 @@ pub fn same_seed_cross_check(seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// The chaos extension of the dynamic determinism lint: runs the seeded
+/// fault-schedule library (crash → partition → heal → restart per protocol
+/// family) twice per configuration and demands byte-identical traces and
+/// identical recovery reports. The recovery paths — WAL replay, catch-up
+/// transfer, resubmission, AB-Cast rejoin — must stay inside the same
+/// deterministic envelope as the fault-free runs.
+pub fn chaos_same_seed_check() -> Result<(), String> {
+    for cfg in gdur_harness::chaos_library() {
+        let (report_a, events_a) = gdur_harness::run_chaos(&cfg);
+        let (report_b, events_b) = gdur_harness::run_chaos(&cfg);
+        let (trace_a, trace_b) = (
+            gdur_obs::jsonl::export(&events_a),
+            gdur_obs::jsonl::export(&events_b),
+        );
+        if trace_a != trace_b {
+            let first = trace_a
+                .lines()
+                .zip(trace_b.lines())
+                .position(|(x, y)| x != y)
+                .unwrap_or(trace_a.lines().count().min(trace_b.lines().count()));
+            return Err(format!(
+                "{}: chaos traces of identically-seeded runs diverge at event \
+                 #{first} (seed {})",
+                cfg.label, cfg.seed
+            ));
+        }
+        if report_a.golden_line() != report_b.golden_line() {
+            return Err(format!(
+                "{}: chaos reports of identically-seeded runs differ:\n  {}\n  {}",
+                cfg.label,
+                report_a.golden_line(),
+                report_b.golden_line()
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

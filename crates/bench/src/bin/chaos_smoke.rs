@@ -1,0 +1,104 @@
+//! CI chaos gate: runs one deterministic fault schedule per protocol
+//! family (crash → partition → heal → restart), checks that history
+//! verification passes, that restarted replicas converge with their peers
+//! and commit new transactions, that same-seed runs are trace-identical,
+//! and diffs the recovery-event counts against the checked-in golden file.
+//!
+//! Usage: `cargo run --release -p gdur-bench --bin chaos_smoke [--bless]`
+//! (`--bless` regenerates `crates/bench/golden/chaos_smoke.txt`).
+
+use std::path::Path;
+use std::process::exit;
+
+use gdur_harness::{chaos_library, run_chaos};
+
+fn main() {
+    let bless = std::env::args().any(|a| a == "--bless");
+    let mut lines = Vec::new();
+
+    for cfg in chaos_library() {
+        let (report, events) = run_chaos(&cfg);
+        println!(
+            "{}: {} committed / {} aborted, {} post-restart commits, \
+             {} catch-up installs, {} trace events",
+            report.label,
+            report.committed,
+            report.aborted,
+            report.post_restart_commits,
+            report.catchup_installs,
+            events.len()
+        );
+        if let Some(v) = &report.violation {
+            eprintln!("chaos_smoke: {} violated its criterion: {v}", report.label);
+            exit(1);
+        }
+        if !report.converged {
+            eprintln!(
+                "chaos_smoke: {}: replica stores diverged after recovery",
+                report.label
+            );
+            exit(1);
+        }
+        if report.crashes == 0 || report.restarts == 0 || report.replays == 0 {
+            eprintln!(
+                "chaos_smoke: {}: schedule did not exercise crash-recovery \
+                 (crashes={} restarts={} replays={})",
+                report.label, report.crashes, report.restarts, report.replays
+            );
+            exit(1);
+        }
+        if report.post_restart_commits == 0 {
+            eprintln!(
+                "chaos_smoke: {}: the restarted replica committed nothing \
+                 after its restart",
+                report.label
+            );
+            exit(1);
+        }
+        // Same seed, same schedule → byte-identical trace: the recovery
+        // and fault paths must stay inside the deterministic envelope.
+        let (_, events2) = run_chaos(&cfg);
+        if format!("{events:?}") != format!("{events2:?}") {
+            eprintln!(
+                "chaos_smoke: {}: same-seed rerun diverged ({} vs {} events)",
+                report.label,
+                events.len(),
+                events2.len()
+            );
+            exit(1);
+        }
+        lines.push(report.golden_line());
+    }
+
+    let table = format!("{}\n", lines.join("\n"));
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/chaos_smoke.txt");
+    if bless {
+        std::fs::create_dir_all(golden_path.parent().expect("has parent"))
+            .expect("create golden dir");
+        std::fs::write(&golden_path, &table).expect("write golden");
+        println!("blessed {}", golden_path.display());
+        return;
+    }
+    let golden = match std::fs::read_to_string(&golden_path) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!(
+                "chaos_smoke: cannot read golden file {}: {e}\n\
+                 run with --bless to create it",
+                golden_path.display()
+            );
+            exit(1);
+        }
+    };
+    if table != golden {
+        eprintln!("chaos_smoke: recovery counts diverged from the golden file:");
+        for (i, (got, want)) in table.lines().zip(golden.lines()).enumerate() {
+            if got != want {
+                eprintln!("  line {}:\n    golden: {want}\n    got:    {got}", i + 1);
+            }
+        }
+        eprintln!("(re-run with --bless after an intentional change)");
+        exit(1);
+    }
+    println!("chaos_smoke: recovery counts match the golden file");
+}

@@ -56,6 +56,11 @@ pub struct Client {
     /// Stop issuing new transactions after this many (None = run forever,
     /// bounded by the simulation horizon).
     max_txns: Option<u64>,
+    /// Abandon an operation unanswered for this long and move on to the
+    /// next transaction (`None` = wait forever, the fault-free default).
+    /// Keeps the closed loop alive when the coordinator crashes.
+    op_timeout: Option<SimDuration>,
+    next_timer_tag: u64,
     issued: u64,
     next_seq: u64,
     me: Option<ProcessId>,
@@ -70,6 +75,8 @@ struct Running {
     started_at: SimTime,
     submitted_at: SimTime,
     read_only: bool,
+    /// Outstanding per-operation timeout: (tag, kernel timer id).
+    timer: Option<(u64, u64)>,
 }
 
 impl std::fmt::Debug for Client {
@@ -97,6 +104,8 @@ impl Client {
             value_proto: Value::of_size(value_size),
             rng: SmallRng::seed_from_u64(seed),
             max_txns: None,
+            op_timeout: None,
+            next_timer_tag: 0,
             issued: 0,
             next_seq: 0,
             me: None,
@@ -109,6 +118,18 @@ impl Client {
     pub fn with_max_txns(mut self, max: u64) -> Self {
         self.max_txns = Some(max);
         self
+    }
+
+    /// Abandon operations unanswered for `t` (recorded as a crash abort)
+    /// instead of blocking the closed loop forever.
+    pub fn with_op_timeout(mut self, t: SimDuration) -> Self {
+        self.op_timeout = Some(t);
+        self
+    }
+
+    /// True if a transaction is currently mid-flight.
+    pub fn in_flight(&self) -> bool {
+        self.current.is_some()
     }
 
     /// Finished-transaction records collected so far.
@@ -140,6 +161,7 @@ impl Client {
             started_at: ctx.now(),
             submitted_at: ctx.now(),
             read_only,
+            timer: None,
         });
         ctx.send(
             self.coordinator,
@@ -148,6 +170,19 @@ impl Client {
                 op: ClientOp::Begin,
             },
         );
+        self.arm_op_timer(ctx);
+    }
+
+    fn arm_op_timer(&mut self, ctx: &mut Context<'_, Msg>) {
+        let Some(t) = self.op_timeout else {
+            return;
+        };
+        let tag = self.next_timer_tag;
+        self.next_timer_tag += 1;
+        let id = ctx.set_timer(t, tag);
+        if let Some(r) = self.current.as_mut() {
+            r.timer = Some((tag, id));
+        }
     }
 
     fn send_next_op(&mut self, ctx: &mut Context<'_, Msg>) {
@@ -161,6 +196,7 @@ impl Client {
                     op: ClientOp::Commit,
                 },
             );
+            self.arm_op_timer(ctx);
             return;
         }
         let op = r.plan.ops[r.next_op].clone();
@@ -179,6 +215,28 @@ impl Client {
                 op: wire_op,
             },
         );
+        self.arm_op_timer(ctx);
+    }
+
+    /// Per-operation timeout: the coordinator went silent (crashed or
+    /// partitioned away). Record the transaction as crash-aborted and move
+    /// on, keeping the closed loop alive.
+    pub fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
+        let armed = self.current.as_ref().and_then(|r| r.timer).map(|(t, _)| t);
+        if armed != Some(tag) {
+            return;
+        }
+        let r = self.current.take().expect("checked above");
+        self.records.push(TxnRecord {
+            tx: r.tx,
+            started_at: r.started_at,
+            submitted_at: r.submitted_at,
+            decided_at: ctx.now(),
+            committed: false,
+            read_only: r.read_only,
+            cause: Some(AbortCause::Crash),
+        });
+        self.begin_next(ctx);
     }
 }
 
@@ -199,6 +257,9 @@ impl gdur_sim::Actor for Client {
         };
         if r.tx != tx {
             return; // stale reply from a past transaction
+        }
+        if let Some((_, id)) = self.current.as_mut().and_then(|r| r.timer.take()) {
+            ctx.cancel_timer(id);
         }
         match reply {
             ClientReply::Began | ClientReply::ReadDone { .. } | ClientReply::UpdateDone { .. } => {

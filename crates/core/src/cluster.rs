@@ -45,6 +45,10 @@ pub struct ClusterConfig {
     /// Abort after this many read-failover attempts (`None` = retry
     /// forever, the default).
     pub max_read_attempts: Option<usize>,
+    /// Clients abandon operations unanswered after this bound (`None` =
+    /// wait forever). Keeps closed-loop clients alive across coordinator
+    /// crashes in fault-injection runs.
+    pub client_op_timeout: Option<SimDuration>,
     /// RNG seed for the whole deployment.
     pub seed: u64,
 }
@@ -66,6 +70,7 @@ impl ClusterConfig {
             persistence: false,
             vote_timeout: None,
             max_read_attempts: None,
+            client_op_timeout: None,
             seed: 42,
         }
     }
@@ -163,6 +168,9 @@ impl Cluster {
                 );
                 if let Some(max) = cfg.max_txns_per_client {
                     client = client.with_max_txns(max);
+                }
+                if let Some(t) = cfg.client_op_timeout {
+                    client = client.with_op_timeout(t);
                 }
                 client_pids.push(sim.spawn(Node::Client(client), Cores::Unlimited));
                 client_idx += 1;
@@ -272,6 +280,9 @@ impl Cluster {
             total.aborted_vote_timeout += s.aborted_vote_timeout;
             total.aborted_read_impossible += s.aborted_read_impossible;
             total.aborted_crash += s.aborted_crash;
+            total.recoveries += s.recoveries;
+            total.resubmissions += s.resubmissions;
+            total.catchup_installs += s.catchup_installs;
         }
         total
     }

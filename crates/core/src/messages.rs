@@ -119,6 +119,29 @@ impl WireSize for TermPayload {
     }
 }
 
+/// One version shipped during catch-up state transfer: the fields of a
+/// [`gdur_persist::LogRecord::Install`] the recovering replica re-applies.
+#[derive(Debug, Clone)]
+pub struct CatchupInstall {
+    /// Key written.
+    pub key: Key,
+    /// Per-key sequence installed.
+    pub seq: u64,
+    /// Stamp of the version.
+    pub stamp: Stamp,
+    /// Writing transaction.
+    pub writer: TxId,
+    /// The after-value.
+    pub value: Value,
+}
+
+impl CatchupInstall {
+    /// Approximate on-the-wire size of this entry.
+    pub fn wire_size(&self) -> usize {
+        24 + self.stamp.wire_size() + self.value.len()
+    }
+}
+
 /// All messages of the simulated deployment.
 #[derive(Debug, Clone)]
 pub enum Msg {
@@ -212,6 +235,32 @@ pub enum Msg {
         /// New partition clock value.
         seq: u64,
     },
+    /// Catch-up state transfer (§5.3 recovery): a restarted replica asks a
+    /// peer for the installs of its hosted partitions, paginated from the
+    /// peer's log record index `from` in pages of at most `max` records.
+    CatchupReq {
+        /// Partitions the requester hosts and wants caught up.
+        partitions: Vec<u32>,
+        /// Resume index into the peer's log (0 = from the beginning).
+        from: u64,
+        /// Page size bound (records per reply).
+        max: u32,
+    },
+    /// One page of catch-up state: the installs and decisions of the
+    /// requested partitions. `next = None` marks the final page, which also
+    /// carries the peer's per-partition visibility `frontier` so the
+    /// requester can re-open its snapshot clock.
+    CatchupRep {
+        /// Install records of the requested partitions, in log order.
+        installs: Vec<CatchupInstall>,
+        /// Commit/abort decisions logged by the peer.
+        decisions: Vec<(TxId, bool)>,
+        /// Resume index for the next page; `None` = transfer complete.
+        next: Option<u64>,
+        /// Peer's knowledge entries for the requested partitions (final
+        /// page only; empty otherwise).
+        frontier: Vec<(u32, u64)>,
+    },
 }
 
 impl WireSize for Msg {
@@ -244,6 +293,21 @@ impl WireSize for Msg {
             }
             Msg::PaxosAccept { .. } | Msg::PaxosAccepted { .. } => HDR + 16,
             Msg::Propagate { .. } => HDR + 16,
+            Msg::CatchupReq { partitions, .. } => HDR + 12 + 4 * partitions.len(),
+            Msg::CatchupRep {
+                installs,
+                decisions,
+                frontier,
+                ..
+            } => {
+                HDR + 9
+                    + installs
+                        .iter()
+                        .map(CatchupInstall::wire_size)
+                        .sum::<usize>()
+                    + 17 * decisions.len()
+                    + 12 * frontier.len()
+            }
         }
     }
 
@@ -259,6 +323,8 @@ impl WireSize for Msg {
             Msg::PaxosAccept { .. } => "paxos_accept",
             Msg::PaxosAccepted { .. } => "paxos_accepted",
             Msg::Propagate { .. } => "propagate",
+            Msg::CatchupReq { .. } => "catchup_req",
+            Msg::CatchupRep { .. } => "catchup_rep",
         }
     }
 }

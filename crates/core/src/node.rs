@@ -58,7 +58,16 @@ impl Actor for Node {
     fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
         match self {
             Node::Replica(r) => r.on_timer(ctx, tag),
-            Node::Client(_) => {}
+            Node::Client(c) => c.on_timer(ctx, tag),
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
+        match self {
+            Node::Replica(r) => r.on_restart(ctx),
+            // A restarted client has nothing durable: it simply resumes
+            // issuing fresh transactions from its next sequence number.
+            Node::Client(c) => c.on_start(ctx),
         }
     }
 }

@@ -17,7 +17,7 @@ use gdur_sim::{Context, ProcessId, SimDuration, SimTime};
 use gdur_store::{Key, MultiVersionStore, Placement, TxId, Value};
 use gdur_versioning::{Mechanism, Stamp, VersionVec};
 
-use crate::messages::{ClientOp, ClientReply, Msg, TermPayload};
+use crate::messages::{CatchupInstall, ClientOp, ClientReply, Msg, TermPayload};
 use crate::spec::{
     CertifyRule, CertifyingObjRule, CommitmentKind, CommuteRule, CostModel, ProtocolSpec, VoteRule,
 };
@@ -117,6 +117,12 @@ pub struct ReplicaStats {
     pub aborted_read_impossible: u64,
     /// Coordinated aborts caused by a crash (coordinator-side).
     pub aborted_crash: u64,
+    /// Crash–restart recoveries performed (§5.3 WAL replay).
+    pub recoveries: u64,
+    /// In-flight terminations resumed from `Submit` log records at restart.
+    pub resubmissions: u64,
+    /// Install records adopted from peers during catch-up state transfer.
+    pub catchup_installs: u64,
 }
 
 /// Execution-phase state of a transaction at its coordinator.
@@ -247,6 +253,42 @@ pub struct Replica {
     outcomes: Vec<TxnOutcomeRecord>,
     /// Durable log, when the persistence layer is attached.
     wal: Option<gdur_persist::Wal>,
+    /// Initial key set, retained under persistence so a restart can rebuild
+    /// the store from seeds + logged installs. Empty when persistence is
+    /// off: a crashed replica without a durable log never restarts.
+    seeds: std::sync::Arc<Vec<(Key, Value)>>,
+    /// Durably decided outcomes, mirroring the log's `Decision` records, so
+    /// a retransmitting coordinator can be answered after this replica
+    /// already terminated its participation. Maintained only under
+    /// persistence.
+    decided_outcomes: BTreeMap<TxId, bool>,
+    /// In-flight catch-up state transfer, present between a restart and the
+    /// `recovery.complete` trace point.
+    catchup: Option<CatchupState>,
+    /// Catch-up retry timers: timer tag → the peer a page was asked from.
+    catchup_timers: BTreeMap<u64, ProcessId>,
+}
+
+/// One peer's slice of an in-flight catch-up transfer.
+#[derive(Debug)]
+struct CatchupPeer {
+    /// Locally hosted partitions this peer serves.
+    partitions: Vec<u32>,
+    /// Resume index into the peer's log.
+    from: u64,
+    /// Rotation counter over candidate serving sites.
+    attempt: usize,
+    /// Outstanding retry timer (tag, kernel id).
+    timer: Option<(u64, u64)>,
+}
+
+/// Catch-up progress of a restarted replica (§5.3 state transfer).
+#[derive(Debug)]
+struct CatchupState {
+    /// Peers still owing pages, with the partitions each one serves.
+    pending: BTreeMap<ProcessId, CatchupPeer>,
+    /// Install records adopted so far.
+    applied: u64,
 }
 
 /// The set of transactions that terminated at this replica, compressed per
@@ -298,6 +340,14 @@ impl Replica {
     pub fn new(me: ProcessId, cfg: ReplicaConfig, seed_keys: Vec<(Key, Value)>) -> Self {
         let partitions = cfg.placement.partitions();
         let dim = cfg.spec.versioning.dim(cfg.replica_pids.len(), partitions);
+        // The seed set is the durable "initial load" a restart rebuilds
+        // from; without persistence a crashed replica never restarts, so
+        // the copy is skipped.
+        let seeds: std::sync::Arc<Vec<(Key, Value)>> = if cfg.persistence {
+            std::sync::Arc::new(seed_keys.clone())
+        } else {
+            std::sync::Arc::new(Vec::new())
+        };
         let mut store = MultiVersionStore::new();
         for (k, v) in seed_keys {
             let stamp = match cfg.spec.versioning {
@@ -334,6 +384,10 @@ impl Replica {
             installs: Vec::new(),
             outcomes: Vec::new(),
             wal: cfg.persistence.then(gdur_persist::Wal::new),
+            seeds,
+            decided_outcomes: BTreeMap::new(),
+            catchup: None,
+            catchup_timers: BTreeMap::new(),
             store,
             me,
             cfg,
@@ -483,6 +537,22 @@ impl Replica {
     ) {
         let costs = self.cfg.costs;
         ctx.consume(costs.per_message);
+        if !matches!(op, ClientOp::Begin) && !self.coord.contains_key(&tx) {
+            // The volatile execution state of this transaction is gone —
+            // the coordinator crashed since `Begin` — so answer the client
+            // with an abort instead of leaving it waiting forever.
+            ctx.send(
+                from,
+                Msg::Reply {
+                    tx,
+                    reply: ClientReply::Outcome {
+                        committed: false,
+                        cause: Some(AbortCause::Crash),
+                    },
+                },
+            );
+            return;
+        }
         match op {
             ClientOp::Begin => {
                 ctx.trace(labels::TXN_BEGIN, tx_code(tx.coord, tx.seq), 0);
@@ -552,7 +622,9 @@ impl Replica {
             // snapshot the transaction already holds (the sibling install of
             // an admitted write is still in flight): defer until it lands.
             let p = self.cfg.placement.partition_of(key).index();
-            if self.vote_clocked() && t.snapshot.wait_bound(p) > self.knowledge.get(p) {
+            if self.recovering()
+                || (self.vote_clocked() && t.snapshot.wait_bound(p) > self.knowledge.get(p))
+            {
                 let tag = self.next_timer_tag;
                 self.next_timer_tag += 1;
                 self.deferred_reads
@@ -649,6 +721,10 @@ impl Replica {
                 }
                 DeferredRead::Local(tx, key, update) => self.start_read(ctx, tx, key, update),
             }
+            return;
+        }
+        if let Some(peer) = self.catchup_timers.remove(&tag) {
+            self.retry_catchup(ctx, peer);
             return;
         }
         if let Some(tx) = self.term_timers.remove(&tag) {
@@ -759,7 +835,8 @@ impl Replica {
         mut snap: Snapshot,
     ) {
         let p = self.cfg.placement.partition_of(key).index();
-        if self.vote_clocked() && snap.wait_bound(p) > self.knowledge.get(p) {
+        if self.recovering() || (self.vote_clocked() && snap.wait_bound(p) > self.knowledge.get(p))
+        {
             let tag = self.next_timer_tag;
             self.next_timer_tag += 1;
             self.deferred_reads
@@ -923,6 +1000,23 @@ impl Replica {
                 .per_stamp_entry
                 .saturating_mul(payload.dep.dim() as u64),
         );
+        if let Some(wal) = self.wal.as_mut() {
+            // §5.3 durable logging: the submitted transaction — sets,
+            // after-values, and dependency vector — hits the log before any
+            // termination message leaves, so a crashed coordinator can
+            // resume retransmission from its log after restart.
+            ctx.consume(self.cfg.costs.per_log_append);
+            wal.append(&gdur_persist::LogRecord::Submit {
+                tx,
+                rs: payload.rs.iter().map(|e| (e.key, e.seq)).collect(),
+                ws: payload
+                    .ws
+                    .iter()
+                    .map(|w| (w.key, w.base_seq, w.value.clone()))
+                    .collect(),
+                dep: payload.dep.iter().collect(),
+            });
+        }
         let dest_sites: Vec<SiteId> =
             if matches!(self.cfg.spec.certifying_obj, CertifyingObjRule::AllObjects) {
                 self.cfg.placement.all_sites().collect()
@@ -984,6 +1078,22 @@ impl Replica {
         // Duplicate delivery (a coordinator retried termination): re-send
         // our vote if we already cast one; otherwise ignore.
         if self.done.contains(&tx) {
+            // A restarted coordinator lost both our vote and the decision:
+            // if the outcome is on durable record, answer it directly so
+            // the retransmission loop terminates (§5.3).
+            if payload.coord != self.me {
+                if let Some(&commit) = self.decided_outcomes.get(&tx) {
+                    ctx.send(
+                        payload.coord,
+                        Msg::Decide {
+                            tx,
+                            commit,
+                            payload: None,
+                            clocks: Vec::new(),
+                        },
+                    );
+                }
+            }
             return;
         }
         if let Some(p) = self.part.get(&tx) {
@@ -1189,6 +1299,12 @@ impl Replica {
         if p.voted || p.outcome.is_some() {
             return;
         }
+        if self.recovering() {
+            // Certifying against a mid-rebuild store could contradict the
+            // votes of this partition's peers; the vote parks until
+            // catch-up completes (`finish_catchup` sweeps unvoted entries).
+            return;
+        }
         let payload = p.payload.clone();
         ctx.consume(self.certify_cost(&payload));
         let yes = self.certify(&payload);
@@ -1211,6 +1327,11 @@ impl Replica {
     /// Algorithm 4, action `vote`: certify immediately, but vote *no* if a
     /// queued transaction conflicts (preemptive abort).
     fn vote_2pc(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId, conflict: bool) {
+        if self.recovering() {
+            // Park the vote until the store is caught up; the
+            // `finish_catchup` sweep re-runs it.
+            return;
+        }
         let payload = self.part.get(&tx).expect("just delivered").payload.clone();
         let yes = if conflict {
             self.stats.preemptive_aborts += 1;
@@ -1604,6 +1725,14 @@ impl Replica {
             if p.decided_clocks.is_empty() {
                 p.decided_clocks = merged_clocks;
             }
+            if let Some(wal) = self.wal.as_mut() {
+                // GC-mode participants terminate from votes without an
+                // explicit `Decide`; log the outcome here so recovery and
+                // catch-up see every decision, not just coordinated ones.
+                ctx.consume(self.cfg.costs.per_log_append);
+                wal.append(&gdur_persist::LogRecord::Decision { tx, commit });
+                self.decided_outcomes.insert(tx, commit);
+            }
             self.process_queue(ctx);
         }
     }
@@ -1619,6 +1748,7 @@ impl Replica {
         if let Some(wal) = self.wal.as_mut() {
             ctx.consume(self.cfg.costs.per_log_append);
             wal.append(&gdur_persist::LogRecord::Decision { tx, commit });
+            self.decided_outcomes.insert(tx, commit);
         }
         let Some(p) = self.part.get_mut(&tx) else {
             if !self.done.contains(&tx) {
@@ -1638,26 +1768,39 @@ impl Replica {
                 self.process_queue(ctx);
             }
             CommitmentKind::TwoPhaseCommit | CommitmentKind::PaxosCommit => {
-                // Spontaneous order: apply and terminate immediately.
-                let p = self.part.get_mut(&tx).expect("present");
-                let payload = p.payload.clone();
-                let decided_clocks = p.decided_clocks.clone();
-                let reserved = p.reserved.clone();
-                let applied = p.applied;
-                if commit && !applied {
-                    p.applied = true;
-                    self.apply(ctx, &payload, &decided_clocks, &reserved);
-                } else if !commit {
-                    // Aborted reservations resolve too, or the frontier
-                    // would stall on their slots forever.
-                    self.resolve_reservations(&reserved);
+                // Spontaneous order: apply and terminate immediately —
+                // unless a catch-up transfer is rebuilding the store, in
+                // which case the entry parks (outcome recorded above) until
+                // the `finish_catchup` sweep.
+                if self.recovering() {
+                    return;
                 }
-                self.index_remove(ctx, tx, &payload);
-                self.part.remove(&tx);
-                self.votes.remove(&tx);
-                self.done.insert(tx);
+                self.terminate_2pc(ctx, tx);
             }
         }
+    }
+
+    /// Terminates a decided 2PC/Paxos participation: apply the commit (or
+    /// resolve the aborted reservations) and drop the entry.
+    fn terminate_2pc(&mut self, ctx: &mut Context<'_, Msg>, tx: TxId) {
+        let p = self.part.get_mut(&tx).expect("present");
+        let commit = p.outcome.expect("decided");
+        let payload = p.payload.clone();
+        let decided_clocks = p.decided_clocks.clone();
+        let reserved = p.reserved.clone();
+        let applied = p.applied;
+        if commit && !applied {
+            p.applied = true;
+            self.apply(ctx, &payload, &decided_clocks, &reserved);
+        } else if !commit {
+            // Aborted reservations resolve too, or the frontier
+            // would stall on their slots forever.
+            self.resolve_reservations(&reserved);
+        }
+        self.index_remove(ctx, tx, &payload);
+        self.part.remove(&tx);
+        self.votes.remove(&tx);
+        self.done.insert(tx);
     }
 
     /// Pops every decided transaction at the head of `Q`, applying commits
@@ -1667,10 +1810,18 @@ impl Replica {
     /// coordinator's site is suspected crashed — are aborted locally: they
     /// install nothing, so a divergent outcome is harmless and unwedges the
     /// apply order. Orphaned *update* transactions at their write-set
-    /// replicas terminate through the votes those replicas receive; full
-    /// recovery of the remaining cases needs the §5.3 termination consensus,
-    /// which is out of scope.
+    /// replicas terminate through the votes those replicas receive; crashed
+    /// replicas rebuild through [`Replica::on_restart`] and the catch-up
+    /// transfer instead.
+    ///
+    /// While a catch-up transfer is in flight this is a no-op: installing
+    /// here would assign per-key sequence numbers against a stale store and
+    /// diverge from the peers. `finish_catchup` drains the queue once the
+    /// store is current.
     fn process_queue(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.recovering() {
+            return;
+        }
         while let Some(&head) = self.q.front() {
             let Some(p) = self.part.get(&head) else {
                 self.q.pop_front();
@@ -1843,6 +1994,16 @@ impl Replica {
             if !self.is_local(w.key) {
                 continue;
             }
+            if self
+                .store
+                .latest(w.key)
+                .is_some_and(|r| r.writer == payload.tx)
+            {
+                // Already installed — the catch-up transfer shipped this
+                // write while the transaction was parked. Re-installing
+                // would mint a duplicate version with a fresh sequence.
+                continue;
+            }
             ctx.consume(self.cfg.costs.per_apply);
             let p = self.cfg.placement.partition_of(w.key);
             let stamp = match self.cfg.spec.versioning {
@@ -1953,6 +2114,17 @@ impl Replica {
                 tx, commit, clocks, ..
             } => {
                 ctx.consume(self.cfg.costs.per_message);
+                // A peer answering a resubmitted termination with the
+                // already-fixed outcome: close the coordinator entry so the
+                // retransmission loop stops and the client hears back.
+                if self.coord.get(&tx).is_some_and(|t| t.decided.is_none()) {
+                    self.finish_coord(
+                        ctx,
+                        tx,
+                        commit,
+                        (!commit).then_some(AbortCause::CertificationConflict),
+                    );
+                }
                 self.on_decide(ctx, tx, commit, clocks);
             }
             Msg::PaxosAccept { tx, commit } => {
@@ -1972,6 +2144,645 @@ impl Replica {
                 if self.knowledge.get(p) < seq {
                     self.knowledge.set(p, seq);
                 }
+            }
+            Msg::CatchupReq {
+                partitions,
+                from: start,
+                max,
+            } => self.on_catchup_req(ctx, from, partitions, start, max),
+            Msg::CatchupRep {
+                installs,
+                decisions,
+                next,
+                frontier,
+            } => self.on_catchup_rep(ctx, from, installs, decisions, next, frontier),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery (§5.3)
+    // ------------------------------------------------------------------
+
+    /// Install records per catch-up reply page.
+    const CATCHUP_PAGE: u32 = 256;
+
+    /// True while a catch-up transfer is rebuilding the store. Reads defer,
+    /// votes park, and the termination queue does not drain until the
+    /// transfer completes: acting on a stale store would mint per-key
+    /// sequences (and votes) that diverge from the rest of the partition.
+    fn recovering(&self) -> bool {
+        self.catchup.is_some()
+    }
+
+    /// Rebuilds the replica after a scheduled kernel restart (§5.3).
+    ///
+    /// The durable state is the initial load plus the write-ahead log;
+    /// everything else — mailbox, timers, in-memory protocol state — died
+    /// with the crash. Recovery replays committed installs into a fresh
+    /// store, re-derives the visibility frontier from their stamps, marks
+    /// logged decisions as terminated, rebuilds the coordinator entry of
+    /// every `Submit` without a matching `Decision` (a mid-commit crash),
+    /// and then starts the peer catch-up transfer. Retransmission of the
+    /// rebuilt terminations waits for `finish_catchup`, so the self-
+    /// delivered vote certifies against a current store.
+    pub fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
+        let Some(wal) = self.wal.take() else {
+            // No persistence attached: the legacy state-retained restart
+            // (tests/failures.rs) keeps the pre-crash in-memory state.
+            return;
+        };
+        self.stats.recoveries += 1;
+        // Re-open the log from its durable byte image — recovery must not
+        // depend on the in-memory `Wal` value that died with the process.
+        let wal = gdur_persist::Wal::from_image(wal.as_bytes());
+        self.coord.clear();
+        self.part.clear();
+        self.votes.clear();
+        self.q.clear();
+        self.key_index.clear();
+        self.waiters.clear();
+        self.early_decide.clear();
+        self.deferred_reads.clear();
+        self.read_timers.clear();
+        self.term_timers.clear();
+        self.vote_timers.clear();
+        self.catchup_timers.clear();
+        self.suspected.clear();
+        self.done = TerminatedSet::default();
+        self.decided_outcomes.clear();
+        self.meta.clear();
+        self.resolved_ahead.clear();
+        self.catchup = None;
+        self.gc = GroupComm::new(self.me, self.cfg.replica_pids.clone());
+        // The fresh AB-Cast engine would otherwise wait forever on the
+        // delivery gap that died with the crash; the skipped sequences are
+        // recovered through WAL replay and peer catch-up instead.
+        self.gc.rejoin();
+        let partitions = self.cfg.placement.partitions();
+        let dim = self
+            .cfg
+            .spec
+            .versioning
+            .dim(self.cfg.replica_pids.len(), partitions);
+        let mut store = MultiVersionStore::new();
+        for (k, v) in self.seeds.iter() {
+            let stamp = match self.cfg.spec.versioning {
+                Mechanism::Ts => Stamp::Ts(0),
+                _ => Stamp::Vec {
+                    origin: self.cfg.placement.partition_of(*k).0,
+                    vec: VersionVec::zero(dim),
+                },
+            };
+            store.seed(*k, v.clone(), stamp);
+        }
+        let mut knowledge = VersionVec::zero(dim.max(partitions));
+        // Scalar-timestamp mechanisms carry no vector in their stamps; the
+        // frontier there counts one bump per (partition, writer), mirroring
+        // the live path's bump-once-per-transaction-per-partition.
+        let mut ts_bumps: BTreeSet<(u32, TxId)> = BTreeSet::new();
+        type SubmitReplay = (TxId, Vec<(Key, u64)>, Vec<(Key, u64, Value)>, Vec<u64>);
+        let mut submits: Vec<SubmitReplay> = Vec::new();
+        let mut replayed: u64 = 0;
+        for rec in wal.scan() {
+            ctx.consume(self.cfg.costs.per_log_append);
+            match rec {
+                gdur_persist::LogRecord::Install {
+                    key,
+                    seq: _,
+                    stamp,
+                    writer,
+                    value,
+                } => {
+                    match stamp.as_vec() {
+                        Some(vec) if vec.dim() == knowledge.dim() => knowledge.merge(vec),
+                        _ => {
+                            ts_bumps.insert((self.cfg.placement.partition_of(key).0, writer));
+                        }
+                    }
+                    store.install(key, value, stamp, writer);
+                    replayed += 1;
+                }
+                gdur_persist::LogRecord::Decision { tx, commit } => {
+                    self.done.insert(tx);
+                    self.decided_outcomes.insert(tx, commit);
+                }
+                gdur_persist::LogRecord::Submit { tx, rs, ws, dep } => {
+                    submits.push((tx, rs, ws, dep));
+                }
+                gdur_persist::LogRecord::Checkpoint => {}
+            }
+        }
+        for (p, _) in &ts_bumps {
+            let p = *p as usize;
+            knowledge.set(p, knowledge.get(p) + 1);
+        }
+        self.store = store;
+        self.knowledge = knowledge;
+        self.reserved = self.knowledge.clone();
+        if self.cfg.spec.votes == VoteRule::LocalDecide {
+            // Serrano's replicated version table covers *all* objects and
+            // advances on every certified commit; the local store (which
+            // holds only local partitions) is the best durable
+            // approximation.
+            for k in self.store.keys().collect::<Vec<_>>() {
+                if let Some(s) = self.store.latest_seq(k) {
+                    if s > 0 {
+                        self.meta.insert(k, s);
+                    }
+                }
+            }
+        }
+        ctx.trace(labels::RECOVERY_REPLAY, 0, replayed);
+        self.wal = Some(wal);
+        // Mid-commit coordinated transactions: rebuild the coordinator
+        // entry and the termination payload; the multicast itself is
+        // deferred to `finish_catchup`.
+        for (tx, rs, ws, dep) in submits {
+            if self.decided_outcomes.contains_key(&tx) {
+                continue;
+            }
+            let rs: Vec<ReadEntry> = rs
+                .into_iter()
+                .map(|(key, seq)| ReadEntry { key, seq })
+                .collect();
+            let ws: Vec<WriteEntry> = ws
+                .into_iter()
+                .map(|(key, base_seq, value)| WriteEntry {
+                    key,
+                    value,
+                    base_seq,
+                })
+                .collect();
+            let t = CoordTxn {
+                client: ProcessId(tx.coord),
+                snapshot: Snapshot::unconstrained(),
+                rs: rs.clone(),
+                ws: ws.clone(),
+                pending_read: None,
+                read_timer: None,
+                submitted_at: ctx.now(),
+                paxos_acks: 0,
+                paxos_decision: None,
+                certifying: Vec::new(),
+                submitted_payload: None,
+                decided: None,
+            };
+            let certifying = self.certifying_keys(&t);
+            let payload = TermPayload::new(
+                tx,
+                self.me,
+                ws.is_empty(),
+                std::sync::Arc::new(rs),
+                std::sync::Arc::new(ws),
+                std::sync::Arc::new(VersionVec::from_entries(dep)),
+            );
+            self.coord.insert(
+                tx,
+                CoordTxn {
+                    certifying,
+                    submitted_payload: Some(payload),
+                    ..t
+                },
+            );
+        }
+        self.start_catchup(ctx);
+    }
+
+    /// Starts the peer state transfer: one request stream per peer, each
+    /// covering the local partitions that peer also hosts. Partitions with
+    /// no second replica cannot be caught up (their committed-but-unlogged
+    /// tail is unrecoverable); the WAL replay is all they get.
+    fn start_catchup(&mut self, ctx: &mut Context<'_, Msg>) {
+        let mut pending: BTreeMap<ProcessId, CatchupPeer> = BTreeMap::new();
+        for p in self.cfg.placement.partitions_at(self.cfg.site) {
+            let Some(peer) = self
+                .cfg
+                .placement
+                .replicas(p)
+                .iter()
+                .copied()
+                .find(|s| *s != self.cfg.site)
+            else {
+                continue;
+            };
+            pending
+                .entry(self.pid_of_site(peer))
+                .or_insert_with(|| CatchupPeer {
+                    partitions: Vec::new(),
+                    from: 0,
+                    attempt: 0,
+                    timer: None,
+                })
+                .partitions
+                .push(p.0);
+        }
+        let peers: Vec<ProcessId> = pending.keys().copied().collect();
+        self.catchup = Some(CatchupState {
+            pending,
+            applied: 0,
+        });
+        if peers.is_empty() {
+            self.finish_catchup(ctx);
+            return;
+        }
+        for peer in peers {
+            self.send_catchup_req(ctx, peer);
+        }
+    }
+
+    /// Sends (or re-sends) the next catch-up page request to `peer` and
+    /// arms the retry timer that rotates to another replica if the peer
+    /// stays silent.
+    fn send_catchup_req(&mut self, ctx: &mut Context<'_, Msg>, peer: ProcessId) {
+        let Some((partitions, from)) = self
+            .catchup
+            .as_ref()
+            .and_then(|cu| cu.pending.get(&peer))
+            .map(|p| (p.partitions.clone(), p.from))
+        else {
+            return;
+        };
+        let tag = self.next_timer_tag;
+        self.next_timer_tag += 1;
+        self.catchup_timers.insert(tag, peer);
+        let id = ctx.set_timer(self.cfg.read_timeout.saturating_mul(4), tag);
+        if let Some(p) = self
+            .catchup
+            .as_mut()
+            .and_then(|cu| cu.pending.get_mut(&peer))
+        {
+            p.timer = Some((tag, id));
+        }
+        ctx.trace(labels::RECOVERY_CATCHUP_REQ, 0, partitions.len() as u64);
+        ctx.send(
+            peer,
+            Msg::CatchupReq {
+                partitions,
+                from,
+                max: Self::CATCHUP_PAGE,
+            },
+        );
+    }
+
+    /// Catch-up retry: the peer did not answer within the timeout. Suspect
+    /// it and rotate its partitions to another replica, restarting that
+    /// stream from record zero (pages are idempotent, so overlap is safe).
+    fn retry_catchup(&mut self, ctx: &mut Context<'_, Msg>, peer: ProcessId) {
+        let Some(mut entry) = self
+            .catchup
+            .as_mut()
+            .and_then(|cu| cu.pending.remove(&peer))
+        else {
+            return;
+        };
+        if let Some(site) = self.try_site_of_pid(peer) {
+            self.suspected.insert(site);
+        }
+        entry.attempt += 1;
+        entry.timer = None;
+        // Candidate replicas for this stream's partitions, preferring
+        // unsuspected ones; fall back to the full pool (the suspicion may
+        // be wrong) before giving up.
+        let mut pool: Vec<ProcessId> = Vec::new();
+        for p in &entry.partitions {
+            for s in self.cfg.placement.replicas(gdur_store::PartitionId(*p)) {
+                let pid = self.pid_of_site(*s);
+                if *s != self.cfg.site && !pool.contains(&pid) {
+                    pool.push(pid);
+                }
+            }
+        }
+        let unsuspected: Vec<ProcessId> = pool
+            .iter()
+            .copied()
+            .filter(|pid| {
+                self.try_site_of_pid(*pid)
+                    .is_none_or(|s| !self.suspected.contains(&s))
+            })
+            .collect();
+        let pool = if unsuspected.is_empty() {
+            pool
+        } else {
+            unsuspected
+        };
+        if pool.is_empty() {
+            if self
+                .catchup
+                .as_ref()
+                .is_some_and(|cu| cu.pending.is_empty())
+            {
+                self.finish_catchup(ctx);
+            }
+            return;
+        }
+        let target = pool[entry.attempt % pool.len()];
+        if target != peer {
+            entry.from = 0;
+        }
+        match self
+            .catchup
+            .as_mut()
+            .expect("recovering")
+            .pending
+            .entry(target)
+        {
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                // The target already serves another stream: merge the
+                // partitions in and restart the combined stream.
+                let merged = o.get_mut();
+                for p in entry.partitions {
+                    if !merged.partitions.contains(&p) {
+                        merged.partitions.push(p);
+                    }
+                }
+                merged.from = 0;
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(entry);
+                self.send_catchup_req(ctx, target);
+            }
+        }
+    }
+
+    /// Serves one page of catch-up state from this replica's own log:
+    /// install records of the requested partitions plus every decision
+    /// (decisions are cheap and close the requester's parked
+    /// terminations).
+    fn on_catchup_req(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: ProcessId,
+        partitions: Vec<u32>,
+        start: u64,
+        max: u32,
+    ) {
+        ctx.consume(self.cfg.costs.per_message);
+        let records = match self.wal.as_ref() {
+            Some(wal) => wal.scan(),
+            None => Vec::new(),
+        };
+        let mut installs = Vec::new();
+        let mut decisions = Vec::new();
+        let mut idx = start as usize;
+        while idx < records.len() && installs.len() + decisions.len() < max as usize {
+            match &records[idx] {
+                gdur_persist::LogRecord::Install {
+                    key,
+                    seq,
+                    stamp,
+                    writer,
+                    value,
+                } if partitions.contains(&self.cfg.placement.partition_of(*key).0) => {
+                    installs.push(CatchupInstall {
+                        key: *key,
+                        seq: *seq,
+                        stamp: stamp.clone(),
+                        writer: *writer,
+                        value: value.clone(),
+                    });
+                }
+                gdur_persist::LogRecord::Decision { tx, commit } => {
+                    decisions.push((*tx, *commit));
+                }
+                _ => {}
+            }
+            idx += 1;
+        }
+        ctx.consume(
+            self.cfg
+                .costs
+                .per_log_append
+                .saturating_mul((installs.len() + decisions.len()) as u64),
+        );
+        let next = (idx < records.len()).then_some(idx as u64);
+        let frontier = if next.is_none() {
+            partitions
+                .iter()
+                .map(|p| (*p, self.knowledge.get(*p as usize)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ctx.send(
+            from,
+            Msg::CatchupRep {
+                installs,
+                decisions,
+                next,
+                frontier,
+            },
+        );
+    }
+
+    /// Applies one page of catch-up state: installs in log order (only at
+    /// the exact next per-key sequence, which makes overlapping pages
+    /// idempotent), then decisions, then either requests the next page or
+    /// adopts the peer's frontier and finishes this stream.
+    fn on_catchup_rep(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: ProcessId,
+        installs: Vec<CatchupInstall>,
+        decisions: Vec<(TxId, bool)>,
+        next: Option<u64>,
+        frontier: Vec<(u32, u64)>,
+    ) {
+        ctx.consume(self.cfg.costs.per_message);
+        if !self
+            .catchup
+            .as_ref()
+            .is_some_and(|cu| cu.pending.contains_key(&from))
+        {
+            // A stale page: the stream was rotated to another peer (or
+            // catch-up already finished).
+            return;
+        }
+        let mut applied: u64 = 0;
+        for inst in installs {
+            if !self.is_local(inst.key) {
+                continue;
+            }
+            let expected = self.store.latest_seq(inst.key).map(|s| s + 1).unwrap_or(0);
+            if inst.seq != expected {
+                continue;
+            }
+            ctx.consume(self.cfg.costs.per_apply);
+            let seq = self.store.install(
+                inst.key,
+                inst.value.clone(),
+                inst.stamp.clone(),
+                inst.writer,
+            );
+            self.stats.catchup_installs += 1;
+            applied += 1;
+            if let Some(wal) = self.wal.as_mut() {
+                ctx.consume(self.cfg.costs.per_log_append);
+                wal.append(&gdur_persist::LogRecord::Install {
+                    key: inst.key,
+                    seq,
+                    stamp: inst.stamp,
+                    writer: inst.writer,
+                    value: inst.value,
+                });
+            }
+            if self.cfg.record_history {
+                self.installs.push(InstallEvent {
+                    key: inst.key,
+                    seq,
+                    tx: inst.writer,
+                    at: ctx.now(),
+                });
+            }
+        }
+        for (tx, commit) in decisions {
+            if self.wal.is_some() {
+                self.decided_outcomes.entry(tx).or_insert(commit);
+            }
+            if self.coord.get(&tx).is_some_and(|t| t.decided.is_none()) {
+                // One of our own mid-commit transactions already terminated
+                // cluster-wide before the crash: close it without
+                // retransmitting.
+                self.finish_coord(
+                    ctx,
+                    tx,
+                    commit,
+                    (!commit).then_some(AbortCause::CertificationConflict),
+                );
+            } else {
+                self.done.insert(tx);
+            }
+        }
+        let cu = self.catchup.as_mut().expect("recovering");
+        cu.applied += applied;
+        ctx.trace(labels::RECOVERY_CATCHUP_APPLY, 0, applied);
+        if let Some(p) = cu.pending.get_mut(&from) {
+            if let Some((tag, id)) = p.timer.take() {
+                ctx.cancel_timer(id);
+                self.catchup_timers.remove(&tag);
+            }
+        }
+        match next {
+            Some(nxt) => {
+                if let Some(p) = self
+                    .catchup
+                    .as_mut()
+                    .and_then(|cu| cu.pending.get_mut(&from))
+                {
+                    p.from = nxt;
+                }
+                self.send_catchup_req(ctx, from);
+            }
+            None => {
+                let finished = {
+                    let cu = self.catchup.as_mut().expect("recovering");
+                    cu.pending.remove(&from);
+                    cu.pending.is_empty()
+                };
+                // Adopt the peer's visibility frontier: the transferred
+                // installs are now locally visible.
+                for (p, s) in frontier {
+                    let p = p as usize;
+                    if p < self.knowledge.dim() && self.knowledge.get(p) < s {
+                        self.knowledge.set(p, s);
+                    }
+                    if p < self.reserved.dim() && self.reserved.get(p) < s {
+                        self.reserved.set(p, s);
+                    }
+                }
+                if finished {
+                    self.finish_catchup(ctx);
+                }
+            }
+        }
+    }
+
+    /// Catch-up complete: resume §5.3 retransmission for the rebuilt
+    /// mid-commit transactions, cast the votes parked during the transfer,
+    /// and drain the termination queue.
+    fn finish_catchup(&mut self, ctx: &mut Context<'_, Msg>) {
+        let Some(cu) = self.catchup.take() else {
+            return;
+        };
+        ctx.trace(labels::RECOVERY_COMPLETE, 0, cu.applied);
+        let resume: Vec<TxId> = self
+            .coord
+            .iter()
+            .filter(|(_, t)| t.decided.is_none() && t.submitted_payload.is_some())
+            .map(|(tx, _)| *tx)
+            .collect();
+        for tx in resume {
+            self.stats.resubmissions += 1;
+            let t = self.coord.get(&tx).expect("present");
+            let payload = t.submitted_payload.clone().expect("payload kept");
+            let certifying = t.certifying.clone();
+            ctx.trace(
+                labels::RECOVERY_RESUBMIT,
+                tx_code(tx.coord, tx.seq),
+                certifying.len() as u64,
+            );
+            if let Some(vt) = self.cfg.vote_timeout {
+                let tag = self.next_timer_tag;
+                self.next_timer_tag += 1;
+                self.vote_timers.insert(tag, tx);
+                ctx.set_timer(vt, tag);
+            }
+            let dests: std::sync::Arc<[ProcessId]> = self
+                .sites_of_keys(certifying.iter())
+                .into_iter()
+                .map(|s| self.pid_of_site(s))
+                .collect();
+            // Retransmit through the protocol's own propagation primitive:
+            // GC commitments rely on their ordered xcast, 2PC/Paxos use the
+            // plain multicast of the live retry path (and keep retrying).
+            let mut out = Vec::new();
+            match self.cfg.spec.commitment {
+                CommitmentKind::GroupCommunication { xcast } => {
+                    self.gc.xcast(xcast, dests, payload, &mut out);
+                }
+                CommitmentKind::TwoPhaseCommit | CommitmentKind::PaxosCommit => {
+                    self.gc.multicast(dests, payload, &mut out);
+                    self.arm_term_retry(ctx, tx);
+                }
+            }
+            self.flush_gc(ctx, out);
+        }
+        self.cast_deferred_votes(ctx);
+        self.process_queue(ctx);
+    }
+
+    /// Votes parked while recovering, cast now against the caught-up
+    /// store; parked decided 2PC/Paxos terminations complete too.
+    fn cast_deferred_votes(&mut self, ctx: &mut Context<'_, Msg>) {
+        let unvoted: Vec<TxId> = self
+            .part
+            .iter()
+            .filter(|(_, p)| !p.voted && p.outcome.is_none() && p.blocked_by == 0)
+            .map(|(tx, _)| *tx)
+            .collect();
+        let gc_mode = matches!(
+            self.cfg.spec.commitment,
+            CommitmentKind::GroupCommunication { .. }
+        );
+        for tx in unvoted {
+            if gc_mode {
+                self.cast_gc_vote(ctx, tx);
+            } else {
+                let conflict = {
+                    let p = self.part.get(&tx).expect("present");
+                    !self.conflicting_queued(&p.payload).is_empty()
+                };
+                self.vote_2pc(ctx, tx, conflict);
+            }
+        }
+        if !gc_mode {
+            let parked: Vec<TxId> = self
+                .part
+                .iter()
+                .filter(|(_, p)| p.outcome.is_some())
+                .map(|(tx, _)| *tx)
+                .collect();
+            for tx in parked {
+                self.terminate_2pc(ctx, tx);
             }
         }
     }

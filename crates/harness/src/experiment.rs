@@ -276,6 +276,7 @@ fn run_point_full(
         persistence: false,
         vote_timeout: None,
         max_read_attempts: None,
+        client_op_timeout: None,
         seed: scale.seed ^ (clients_per_site as u64) << 32,
     };
     let ro = exp.read_only_ratio;

@@ -36,6 +36,26 @@ pub mod labels {
     /// code). Participant-side only — never part of the coordinator abort
     /// partition.
     pub const CERT_ORPHAN: &str = "cert.orphan";
+    /// A scheduled kernel crash took effect (value: pending jobs discarded).
+    /// Emitted by the kernel itself, re-exported here for trace consumers.
+    pub const KERNEL_CRASH: &str = gdur_sim::KERNEL_CRASH;
+    /// A scheduled kernel restart took effect (value: unused, always 0).
+    pub const KERNEL_RESTART: &str = gdur_sim::KERNEL_RESTART;
+    /// A restarted replica finished rebuilding from its write-ahead log
+    /// (value: number of install records replayed).
+    pub const RECOVERY_REPLAY: &str = "recovery.replay";
+    /// A restarted replica resumed §5.3 termination retransmission for a
+    /// transaction that was mid-commit at the crash (value: certifying keys).
+    pub const RECOVERY_RESUBMIT: &str = "recovery.resubmit";
+    /// A recovering replica requested catch-up from a peer (value: number of
+    /// partitions requested).
+    pub const RECOVERY_CATCHUP_REQ: &str = "recovery.catchup.req";
+    /// A recovering replica applied one page of catch-up state (value:
+    /// install records applied from this page).
+    pub const RECOVERY_CATCHUP_APPLY: &str = "recovery.catchup.apply";
+    /// Catch-up finished: the replica adopted the peer's visibility frontier
+    /// and serves reads again (value: total install records caught up).
+    pub const RECOVERY_COMPLETE: &str = "recovery.complete";
 }
 
 /// Why a transaction aborted, attached to every aborted

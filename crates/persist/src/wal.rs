@@ -9,7 +9,10 @@
 //! * [`LogRecord::Decision`] — a commit/abort decision (2PC's commit
 //!   point);
 //! * [`LogRecord::Checkpoint`] — a cut: recovery may start from the last
-//!   checkpoint's state snapshot.
+//!   checkpoint's state snapshot;
+//! * [`LogRecord::Submit`] — a coordinator handed a transaction to the
+//!   commitment protocol. A `Submit` without a matching `Decision` is an
+//!   in-flight termination: recovery resumes its retransmission.
 //!
 //! Recovery scans frames until the first torn/corrupt one (crash during a
 //! write), replaying installs in order.
@@ -46,11 +49,27 @@ pub enum LogRecord {
     },
     /// A checkpoint marker; records before it may be truncated.
     Checkpoint,
+    /// A coordinator submitted a transaction for termination (§5.3: the
+    /// protocol state change that starts retransmission). A `Submit` with
+    /// no later `Decision` for the same transaction marks a mid-commit
+    /// crash: recovery rebuilds the termination payload from this record
+    /// and resumes retransmitting it.
+    Submit {
+        /// The submitted transaction.
+        tx: TxId,
+        /// Read set: key and the per-key sequence observed.
+        rs: Vec<(Key, u64)>,
+        /// Write buffer: key, superseded base sequence, and after-value.
+        ws: Vec<(Key, u64, Value)>,
+        /// Dependency-vector entries of the snapshot at submit time.
+        dep: Vec<u64>,
+    },
 }
 
 const TAG_INSTALL: u8 = 1;
 const TAG_DECISION: u8 = 2;
 const TAG_CHECKPOINT: u8 = 3;
+const TAG_SUBMIT: u8 = 4;
 
 fn put_stamp(buf: &mut BytesMut, stamp: &Stamp) {
     match stamp {
@@ -118,6 +137,26 @@ impl LogRecord {
                 buf.put_u8(u8::from(*commit));
             }
             LogRecord::Checkpoint => buf.put_u8(TAG_CHECKPOINT),
+            LogRecord::Submit { tx, rs, ws, dep } => {
+                buf.put_u8(TAG_SUBMIT);
+                codec::put_varint(&mut buf, u64::from(tx.coord));
+                codec::put_varint(&mut buf, tx.seq);
+                codec::put_varint(&mut buf, rs.len() as u64);
+                for (key, seq) in rs {
+                    codec::put_varint(&mut buf, key.0);
+                    codec::put_varint(&mut buf, *seq);
+                }
+                codec::put_varint(&mut buf, ws.len() as u64);
+                for (key, base, value) in ws {
+                    codec::put_varint(&mut buf, key.0);
+                    codec::put_varint(&mut buf, *base);
+                    codec::put_bytes(&mut buf, value.as_bytes());
+                }
+                codec::put_varint(&mut buf, dep.len() as u64);
+                for e in dep {
+                    codec::put_varint(&mut buf, *e);
+                }
+            }
         }
         buf
     }
@@ -156,6 +195,36 @@ impl LogRecord {
                 })
             }
             TAG_CHECKPOINT => Ok(LogRecord::Checkpoint),
+            TAG_SUBMIT => {
+                let coord = codec::get_varint(&mut body)? as u32;
+                let tseq = codec::get_varint(&mut body)?;
+                let nr = codec::get_varint(&mut body)? as usize;
+                let mut rs = Vec::with_capacity(nr);
+                for _ in 0..nr {
+                    let key = Key(codec::get_varint(&mut body)?);
+                    let seq = codec::get_varint(&mut body)?;
+                    rs.push((key, seq));
+                }
+                let nw = codec::get_varint(&mut body)? as usize;
+                let mut ws = Vec::with_capacity(nw);
+                for _ in 0..nw {
+                    let key = Key(codec::get_varint(&mut body)?);
+                    let base = codec::get_varint(&mut body)?;
+                    let value = Value::from_bytes(codec::get_bytes(&mut body)?);
+                    ws.push((key, base, value));
+                }
+                let nd = codec::get_varint(&mut body)? as usize;
+                let mut dep = Vec::with_capacity(nd);
+                for _ in 0..nd {
+                    dep.push(codec::get_varint(&mut body)?);
+                }
+                Ok(LogRecord::Submit {
+                    tx: TxId::new(coord, tseq),
+                    rs,
+                    ws,
+                    dep,
+                })
+            }
             t => Err(DecodeError::UnknownTag(t)),
         }
     }
@@ -290,6 +359,9 @@ pub fn recover(log: &Wal) -> (MultiVersionStore, Vec<(TxId, bool)>) {
             }
             LogRecord::Decision { tx, commit } => decisions.push((tx, commit)),
             LogRecord::Checkpoint => {}
+            // In-flight termination state is protocol-level; the replica's
+            // own recovery path re-derives it from Submit/Decision pairs.
+            LogRecord::Submit { .. } => {}
         }
     }
     (store, decisions)
@@ -327,6 +399,32 @@ mod tests {
                 },
                 writer: TxId::new(7, 8),
                 value: Value::of_size(100),
+            },
+        ];
+        for r in recs {
+            let enc = r.encode().freeze();
+            assert_eq!(LogRecord::decode(enc).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn submit_record_roundtrip() {
+        let recs = vec![
+            LogRecord::Submit {
+                tx: TxId::new(9, 41),
+                rs: vec![(Key(3), 7)],
+                ws: vec![
+                    (Key(3), 7, Value::from_u64(99)),
+                    (Key(5), 0, Value::empty()),
+                ],
+                dep: vec![1, 0, 4],
+            },
+            // Read-only / empty-set submits must also survive.
+            LogRecord::Submit {
+                tx: TxId::new(1, 1),
+                rs: vec![],
+                ws: vec![],
+                dep: vec![],
             },
         ];
         for r in recs {
@@ -410,6 +508,12 @@ mod tests {
             },
             LogRecord::Checkpoint,
             install(1, 1, 11),
+            LogRecord::Submit {
+                tx: TxId::new(4, 2),
+                rs: vec![(Key(1), 1), (Key(7), 0)],
+                ws: vec![(Key(1), 1, Value::of_size(32))],
+                dep: vec![0, 3],
+            },
         ];
         let mut wal = Wal::new();
         let mut boundaries = vec![0usize];

@@ -212,12 +212,24 @@ enum Job<M> {
     Start,
     Message { from: ProcessId, msg: Box<M> },
     Timer { id: u64, tag: u64 },
+    Restart,
 }
 
 enum EventKind<M> {
     Arrival(ProcessId, Job<M>),
     Dispatch(ProcessId),
+    /// A scheduled fail-stop crash ([`Simulation::schedule_crash`]).
+    Crash(ProcessId),
+    /// A scheduled recovery ([`Simulation::schedule_restart`]).
+    Restart(ProcessId),
 }
+
+/// Trace label of the kernel [`ObsEvent::Point`] emitted when a scheduled
+/// crash takes effect (`value` = number of pending jobs discarded).
+pub const KERNEL_CRASH: &str = "kernel.crash";
+/// Trace label of the kernel [`ObsEvent::Point`] emitted when a scheduled
+/// restart brings an actor back (`value` = 0).
+pub const KERNEL_RESTART: &str = "kernel.restart";
 
 /// Priority-queue entry. The ordering key `(time, seq)` lives inline so
 /// heap comparisons never chase a pointer; the event body is small (the
@@ -418,6 +430,82 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
         self.actors[id.index()].crashed
     }
 
+    /// Schedules a fail-stop crash of `id` at virtual instant `at`.
+    ///
+    /// Unlike the immediate [`Simulation::crash`], the crash takes effect
+    /// *inside* the run, ordered against message deliveries by the usual
+    /// `(time, seq)` rule: everything scheduled before the crash event is
+    /// still delivered (or dropped if it arrives after), everything after
+    /// is dropped until a restart. The crash models a full process loss —
+    /// the pending mailbox is discarded and every armed timer is retired,
+    /// so a restarted actor starts from a clean kernel slate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_crash(&mut self, id: ProcessId, at: SimTime) {
+        assert!(at >= self.time, "cannot schedule a crash in the past");
+        self.push(at, EventKind::Crash(id));
+    }
+
+    /// Schedules a restart of `id` at virtual instant `at`: the actor comes
+    /// back with a fresh mailbox and no armed timers, and its
+    /// [`Actor::on_restart`] hook runs through the normal dispatch path
+    /// (charging CPU time, sending messages, arming timers). The kernel
+    /// emits a [`KERNEL_RESTART`] trace point; durable state is whatever
+    /// the actor itself preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_restart(&mut self, id: ProcessId, at: SimTime) {
+        assert!(at >= self.time, "cannot schedule a restart in the past");
+        self.push(at, EventKind::Restart(id));
+    }
+
+    /// A scheduled crash taking effect: fail-stop with total loss of the
+    /// kernel-side volatile state (mailbox and timers).
+    fn fault_crash(&mut self, id: ProcessId) {
+        let slot = &mut self.actors[id.index()];
+        let discarded = slot.pending.len() as u64;
+        slot.crashed = true;
+        slot.pending.clear();
+        // Retire every in-flight timer: a process that lost its memory must
+        // not observe timers armed by its previous incarnation. The arrival
+        // events still drain through `canceled_timers` without firing.
+        let armed: Vec<u64> = slot.outstanding_timers.iter().copied().collect();
+        slot.canceled_timers.extend(armed);
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.record(ObsEvent::Point {
+                at: self.time,
+                actor: id,
+                label: KERNEL_CRASH,
+                tx: 0,
+                value: discarded,
+            });
+        }
+    }
+
+    /// A scheduled restart taking effect: clear the crashed flag and queue
+    /// the [`Actor::on_restart`] job through the normal dispatch path.
+    fn fault_restart(&mut self, id: ProcessId) {
+        let slot = &mut self.actors[id.index()];
+        if !slot.crashed {
+            return; // restarting a live actor is a no-op
+        }
+        slot.crashed = false;
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.record(ObsEvent::Point {
+                at: self.time,
+                actor: id,
+                label: KERNEL_RESTART,
+                tx: 0,
+                value: 0,
+            });
+        }
+        self.push(self.time, EventKind::Arrival(id, Job::Restart));
+    }
+
     /// Injects a message from the environment, arriving at `at`.
     ///
     /// # Panics
@@ -488,6 +576,8 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
                     self.actors[to.index()].dispatch_at = None;
                     self.try_dispatch(to);
                 }
+                EventKind::Crash(who) => self.fault_crash(who),
+                EventKind::Restart(who) => self.fault_restart(who),
             }
         }
         self.time
@@ -579,6 +669,7 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
                 Job::Start => slot.actor.on_start(&mut ctx),
                 Job::Message { from, msg } => slot.actor.on_message(&mut ctx, from, *msg),
                 Job::Timer { tag, .. } => slot.actor.on_timer(&mut ctx, tag),
+                Job::Restart => slot.actor.on_restart(&mut ctx),
             }
             consumed = ctx.consumed;
         }
@@ -1020,6 +1111,122 @@ mod tests {
         sim.actor_mut(a).peer = Some(b);
         sim.actor_mut(a).send_on_start = true;
         assert_eq!(sim.run_until_idle(), SimTime::from_nanos(40_000_000));
+    }
+
+    /// Actor for the scheduled-fault tests: arms a periodic timer, records
+    /// deliveries, and notes every restart it lives through.
+    struct Phoenix {
+        delivered: Vec<u32>,
+        restarts: Vec<SimTime>,
+        timers: Vec<SimTime>,
+    }
+    impl Phoenix {
+        fn new() -> Self {
+            Phoenix {
+                delivered: vec![],
+                restarts: vec![],
+                timers: vec![],
+            }
+        }
+    }
+    impl Actor for Phoenix {
+        type Msg = Ping;
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            ctx.set_timer(SimDuration::from_millis(10), 1);
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Ping>, _: ProcessId, msg: Ping) {
+            self.delivered.push(msg.0);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Ping>, _: u64) {
+            self.timers.push(ctx.now());
+        }
+        fn on_restart(&mut self, ctx: &mut Context<'_, Ping>) {
+            self.restarts.push(ctx.now());
+            ctx.set_timer(SimDuration::from_millis(10), 2);
+        }
+    }
+
+    #[test]
+    fn scheduled_crash_and_restart_run_the_recovery_hook() {
+        let mut sim = Simulation::new(ZeroLatency, 1);
+        let p = sim.spawn(Phoenix::new(), Cores::Fixed(1));
+        // Alive at 1ms, crashed during [5ms, 20ms), restarted at 20ms.
+        sim.inject(ProcessId(99), p, Ping(1), SimTime::from_nanos(1_000_000));
+        sim.schedule_crash(p, SimTime::from_nanos(5_000_000));
+        sim.inject(ProcessId(99), p, Ping(2), SimTime::from_nanos(6_000_000));
+        sim.schedule_restart(p, SimTime::from_nanos(20_000_000));
+        sim.inject(ProcessId(99), p, Ping(3), SimTime::from_nanos(25_000_000));
+        sim.run_until_idle();
+        let a = sim.actor(p);
+        assert_eq!(a.delivered, vec![1, 3], "mid-crash delivery dropped");
+        assert_eq!(a.restarts, vec![SimTime::from_nanos(20_000_000)]);
+        // The start-time timer (due at 10ms) was retired by the crash; only
+        // the timer re-armed by on_restart fires, at 30ms.
+        assert_eq!(a.timers, vec![SimTime::from_nanos(30_000_000)]);
+        assert_eq!(sim.stats().messages_dropped, 1);
+        assert!(sim.actors[p.index()].canceled_timers.is_empty());
+        assert!(sim.actors[p.index()].outstanding_timers.is_empty());
+    }
+
+    #[test]
+    fn scheduled_faults_emit_trace_points_without_perturbing() {
+        fn run(traced: bool) -> (Vec<u32>, Vec<ObsEvent>) {
+            use std::sync::{Arc, Mutex};
+            #[derive(Clone)]
+            struct Shared(Arc<Mutex<Vec<ObsEvent>>>);
+            impl ObsSink for Shared {
+                fn record(&mut self, ev: ObsEvent) {
+                    self.0.lock().expect("sink lock").push(ev);
+                }
+            }
+            let events = Shared(Arc::new(Mutex::new(Vec::new())));
+            let mut sim = Simulation::new(ZeroLatency, 7);
+            let p = sim.spawn(Phoenix::new(), Cores::Fixed(1));
+            if traced {
+                sim.attach_obs(Box::new(events.clone()));
+            }
+            sim.inject(ProcessId(99), p, Ping(8), SimTime::from_nanos(2_000_000));
+            sim.schedule_crash(p, SimTime::from_nanos(1_000_000));
+            sim.schedule_restart(p, SimTime::from_nanos(3_000_000));
+            sim.run_until_idle();
+            let log = events.0.lock().expect("sink lock").clone();
+            (sim.actor(p).delivered.clone(), log)
+        }
+        let (plain, _) = run(false);
+        let (traced, log) = run(true);
+        assert_eq!(plain, traced, "tracing perturbed the schedule");
+        let labels: Vec<&str> = log
+            .iter()
+            .filter_map(|ev| match ev {
+                ObsEvent::Point { label, .. } => Some(*label),
+                _ => None,
+            })
+            .collect();
+        assert!(labels.contains(&KERNEL_CRASH));
+        assert!(labels.contains(&KERNEL_RESTART));
+    }
+
+    #[test]
+    fn scheduled_restart_of_a_live_actor_is_a_no_op() {
+        let mut sim = Simulation::new(ZeroLatency, 1);
+        let p = sim.spawn(Phoenix::new(), Cores::Fixed(1));
+        sim.schedule_restart(p, SimTime::from_nanos(1_000_000));
+        sim.run_until_idle();
+        assert!(sim.actor(p).restarts.is_empty());
+        // The regular start-time timer still fires: nothing was disturbed.
+        assert_eq!(sim.actor(p).timers, vec![SimTime::from_nanos(10_000_000)]);
+    }
+
+    #[test]
+    fn double_scheduled_crash_is_idempotent() {
+        let mut sim = Simulation::new(ZeroLatency, 1);
+        let p = sim.spawn(Phoenix::new(), Cores::Fixed(1));
+        sim.schedule_crash(p, SimTime::from_nanos(1_000_000));
+        sim.schedule_crash(p, SimTime::from_nanos(2_000_000));
+        sim.schedule_restart(p, SimTime::from_nanos(3_000_000));
+        sim.run_until_idle();
+        assert_eq!(sim.actor(p).restarts.len(), 1);
+        assert!(!sim.is_crashed(p));
     }
 
     #[test]

@@ -18,7 +18,14 @@
 //!    latency knees, convoy effects, and saturation plateaus that the G-DUR
 //!    paper's figures hinge on.
 //! 3. **Failure injection** — [`Simulation::crash`] / [`Simulation::restart`]
-//!    model fail-stop crashes with recovery from a durable log.
+//!    model fail-stop crashes with recovery from a durable log. Their
+//!    scheduled counterparts [`Simulation::schedule_crash`] /
+//!    [`Simulation::schedule_restart`] fire *inside* a run at a chosen
+//!    virtual instant: the crash discards the mailbox and retires every
+//!    armed timer (total loss of volatile state), and the restart runs the
+//!    actor's [`Actor::on_restart`] recovery hook through the normal
+//!    dispatch path, tracing both transitions through the observability
+//!    sink.
 //!
 //! ## Example
 //!
@@ -58,6 +65,9 @@ mod obs;
 mod time;
 
 pub use actor::{Actor, ProcessId, WireSize};
-pub use kernel::{Context, Cores, LatencyModel, SimStats, Simulation, UniformLatency, ZeroLatency};
+pub use kernel::{
+    Context, Cores, LatencyModel, SimStats, Simulation, UniformLatency, ZeroLatency, KERNEL_CRASH,
+    KERNEL_RESTART,
+};
 pub use obs::{ObsEvent, ObsSink};
 pub use time::{SimDuration, SimTime};
