@@ -6,7 +6,7 @@
 # Tiers:
 #   ./ci.sh --fast   formatting, clippy, debug tests — the edit-loop tier
 #   ./ci.sh          the full gate: fast tier + release build/tests,
-#                    detlint --dynamic, obs_smoke, chaos_smoke, perf_gate
+#                    detlint --dynamic, obs_smoke, chaos_smoke, mc_smoke, perf_gate
 #
 # Each step reports its wall-clock seconds; SKIP_PERF_GATE=1 skips the
 # wall-clock regression gate (it only means something on an idle machine).
@@ -59,6 +59,9 @@ step "obs_smoke (traced run: schema, convoy/abort invariants, golden diff)" \
 
 step "chaos_smoke (fault schedules: crash/partition/heal/restart, golden diff)" \
     cargo run -q --release -p gdur-bench --bin chaos_smoke
+
+step "mc_smoke (DPOR-lite schedule exploration + PSI-bug regression, golden diff)" \
+    cargo run -q --release -p gdur-bench --bin mc_smoke
 
 # Wall-clock regression gate against the blessed reference in
 # BENCH_sim.json. Skippable because wall-clock is only meaningful on an

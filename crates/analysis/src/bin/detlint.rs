@@ -11,7 +11,7 @@
 
 use std::path::Path;
 
-use gdur_analysis::detlint::{scan_workspace, Allowlist, DETERMINISTIC_ROOTS};
+use gdur_analysis::detlint::{discover_roots, scan_workspace, Allowlist};
 
 fn main() {
     let dynamic = std::env::args().any(|a| a == "--dynamic");
@@ -21,7 +21,7 @@ fn main() {
         .expect("crates/analysis sits two levels under the workspace root")
         .to_path_buf();
 
-    println!("detlint: scanning {} …", DETERMINISTIC_ROOTS.join(", "));
+    println!("detlint: scanning {} …", discover_roots(&root).join(", "));
     let allow = Allowlist::load(&root);
     let findings = scan_workspace(&root, &allow);
     for f in &findings {

@@ -94,28 +94,81 @@ impl Allowlist {
     }
 }
 
-/// The crate subtrees whose sources must be deterministic: everything that
-/// executes inside the simulation, including the crash-recovery paths (the
-/// write-ahead log in `crates/persist` and the fault-schedule runner —
-/// same-seed chaos runs must be byte-identical too). Benches and the rest
-/// of the harness legitimately read wall clocks; the consistency oracle
-/// runs offline. Entries may name a single file instead of a subtree.
-pub const DETERMINISTIC_ROOTS: &[&str] = &[
-    "crates/sim/src",
-    "crates/core/src",
-    "crates/gc/src",
-    "crates/persist/src",
-    "crates/protocols/src",
-    "crates/obs/src",
-    "crates/harness/src/fault.rs",
-];
+/// Workspace members the scan skips entirely. Only *vendored* code
+/// belongs here: the offline stand-ins under `vendor/` are third-party
+/// API surface (the `rand` shim must mention entropy constructors to
+/// mirror the real crate), not simulation code. Every first-party crate
+/// is scanned — a construct that is legitimately nondeterministic (a
+/// bench reading the wall clock, the linter's own pattern table) is
+/// suppressed line-by-line through `detlint.allow` with a justification,
+/// never by excluding the crate.
+pub const DENY_ROOTS: &[&str] = &["vendor/"];
 
-/// Scans the [`DETERMINISTIC_ROOTS`] under `workspace_root`, returning
-/// unsuppressed findings sorted by path and line.
+/// Discovers the source roots to scan from the workspace manifest instead
+/// of a hard-coded crate list: every `[workspace] members` entry (globs
+/// like `crates/*` expanded via the filesystem) that is not deny-listed
+/// contributes its `src/` subtree. A crate added to the workspace is
+/// scanned from its first commit — it cannot be forgotten.
+pub fn discover_roots(workspace_root: &Path) -> Vec<String> {
+    let manifest = fs::read_to_string(workspace_root.join("Cargo.toml")).unwrap_or_default();
+    let mut roots = Vec::new();
+    for member in manifest_members(&manifest) {
+        let expanded: Vec<String> = match member.strip_suffix("/*") {
+            Some(prefix) => {
+                let mut dirs: Vec<String> = fs::read_dir(workspace_root.join(prefix))
+                    .map(|entries| {
+                        entries
+                            .flatten()
+                            .filter(|e| e.path().is_dir())
+                            .map(|e| format!("{prefix}/{}", e.file_name().to_string_lossy()))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                dirs.sort();
+                dirs
+            }
+            None => vec![member],
+        };
+        for m in expanded {
+            if DENY_ROOTS
+                .iter()
+                .any(|d| m.starts_with(d.trim_end_matches('/')))
+            {
+                continue;
+            }
+            let src = format!("{m}/src");
+            if workspace_root.join(&src).is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    roots
+}
+
+/// Extracts the `members` array entries from workspace-manifest text.
+fn manifest_members(manifest: &str) -> Vec<String> {
+    let Some(start) = manifest.find("members") else {
+        return Vec::new();
+    };
+    let Some(open) = manifest[start..].find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = manifest[start + open..].find(']') else {
+        return Vec::new();
+    };
+    manifest[start + open + 1..start + open + close]
+        .split(',')
+        .map(|s| s.trim().trim_matches('"').to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Scans the discovered workspace source roots under `workspace_root`,
+/// returning unsuppressed findings sorted by path and line.
 pub fn scan_workspace(workspace_root: &Path, allow: &Allowlist) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for root in DETERMINISTIC_ROOTS {
-        let dir = workspace_root.join(root);
+    for root in discover_roots(workspace_root) {
+        let dir = workspace_root.join(&root);
         let files = if dir.is_file() {
             vec![dir]
         } else {
@@ -311,6 +364,35 @@ mod tests {
         let src = "let r = thread_rng();\nlet t = Instant::now();\n// SystemTime::now is banned\n";
         let c = codes(src);
         assert_eq!(c, vec!["UNSEEDED-RNG", "WALL-CLOCK"]);
+    }
+
+    #[test]
+    fn manifest_members_parses_globs_and_literals() {
+        let manifest =
+            "[workspace]\nmembers = [\"crates/*\", \"examples\",\n    \"vendor/rand\"]\n";
+        assert_eq!(
+            manifest_members(manifest),
+            vec!["crates/*", "examples", "vendor/rand"]
+        );
+    }
+
+    #[test]
+    fn discover_roots_expands_globs_and_denies_vendor() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_path_buf();
+        let roots = discover_roots(&root);
+        assert!(roots.iter().any(|r| r == "crates/sim/src"), "{roots:?}");
+        assert!(
+            roots.iter().any(|r| r == "crates/analysis/src"),
+            "{roots:?}"
+        );
+        assert!(
+            roots.iter().all(|r| !r.starts_with("vendor/")),
+            "vendored code must stay deny-listed: {roots:?}"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! # gdur-analysis — analyses over G-DUR protocol assemblies
 //!
 //! The paper's thesis is that a middleware hosting many protocols is also
-//! the right place to *analyze* them (§7–§8). This crate bundles the three
+//! the right place to *analyze* them (§7–§8). This crate bundles the
 //! analysis passes the workspace wires into every entry point:
 //!
 //! 1. **Spec linter** — [`gdur_core::ProtocolSpec::validate`] checks a
@@ -19,8 +19,13 @@
 //!    experiment's history to the `gdur-consistency` oracle against the
 //!    spec's claimed [`Criterion`] before reporting a number;
 //!    [`verify_cluster`] exposes the same check for ad-hoc runs.
+//! 4. **Schedule exploration** — [`mc`] drives the kernel through many
+//!    delay-bounded schedules (DPOR-lite pruning, replayable minimized
+//!    counterexamples) instead of the one schedule per seed the passes
+//!    above examine. CLI: `cargo run -p gdur-analysis --bin gdur-mc`.
 
 pub mod detlint;
+pub mod mc;
 
 pub use gdur_consistency::{CriterionCheck, History, Violation};
 pub use gdur_core::{Criterion, Diagnostic, Severity};

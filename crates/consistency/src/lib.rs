@@ -23,7 +23,7 @@
 //! decidable from these records alone and are documented as out of scope
 //! in DESIGN.md.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use gdur_core::Cluster;
 use gdur_net::SiteId;
@@ -51,9 +51,9 @@ pub struct History {
     /// All terminated transactions.
     pub txns: Vec<HistoryTxn>,
     /// Version table: (key, seq) → writer.
-    pub versions: HashMap<(Key, u64), TxId>,
+    pub versions: BTreeMap<(Key, u64), TxId>,
     /// Latest installed sequence per key.
-    pub latest: HashMap<Key, u64>,
+    pub latest: BTreeMap<Key, u64>,
 }
 
 /// A detected consistency violation.
@@ -136,9 +136,9 @@ impl History {
         let sites = cluster.placement().sites();
         // (key, seq) → writer, with divergence detection deferred to the
         // replica-agreement check.
-        let mut versions: HashMap<(Key, u64), TxId> = HashMap::new();
+        let mut versions: BTreeMap<(Key, u64), TxId> = BTreeMap::new();
         let mut divergent: Vec<(Key, u64)> = Vec::new();
-        let mut latest: HashMap<Key, u64> = HashMap::new();
+        let mut latest: BTreeMap<Key, u64> = BTreeMap::new();
         for s in 0..sites {
             let rep = cluster.replica(SiteId(s as u16));
             for ev in rep.installs() {
@@ -153,7 +153,7 @@ impl History {
             }
         }
         // Map (tx → key → installed seq) for resolving writes.
-        let mut installs_by_tx: HashMap<TxId, Vec<(Key, u64)>> = HashMap::new();
+        let mut installs_by_tx: BTreeMap<TxId, Vec<(Key, u64)>> = BTreeMap::new();
         for ((key, seq), tx) in &versions {
             installs_by_tx.entry(*tx).or_default().push((*key, *seq));
         }
@@ -285,12 +285,12 @@ pub fn check_replica_agreement(h: &History) -> Result<(), Violation> {
 /// proportional to the contention on its read keys, not to the history.
 pub fn check_no_fractured_reads(h: &History) -> Result<(), Violation> {
     // writer → its installed writes.
-    let mut writes_of: HashMap<TxId, BTreeMap<Key, u64>> = HashMap::new();
+    let mut writes_of: BTreeMap<TxId, BTreeMap<Key, u64>> = BTreeMap::new();
     for ((key, seq), tx) in &h.versions {
         writes_of.entry(*tx).or_default().insert(*key, *seq);
     }
     // key → writers that installed this key *and* at least one other.
-    let mut multi_writers: HashMap<Key, Vec<TxId>> = HashMap::new();
+    let mut multi_writers: BTreeMap<Key, Vec<TxId>> = BTreeMap::new();
     for (tx, ws) in &writes_of {
         if ws.len() >= 2 {
             for key in ws.keys() {
@@ -336,7 +336,7 @@ pub fn check_no_fractured_reads(h: &History) -> Result<(), Violation> {
 /// Per-key version sequences are contiguous — no committed write ever
 /// superseded the same base twice (first-committer-wins).
 pub fn check_first_committer_wins(h: &History) -> Result<(), Violation> {
-    let mut per_key: HashMap<Key, BTreeSet<u64>> = HashMap::new();
+    let mut per_key: BTreeMap<Key, BTreeSet<u64>> = BTreeMap::new();
     for (key, seq) in h.versions.keys() {
         if *seq <= u64::MAX / 2 {
             per_key.entry(*key).or_default().insert(*seq);
@@ -360,7 +360,7 @@ pub fn check_first_committer_wins(h: &History) -> Result<(), Violation> {
 /// sequences.
 pub fn check_serializability(h: &History, include_queries: bool) -> Result<(), Violation> {
     let mut nodes: Vec<TxId> = Vec::new();
-    let mut index: HashMap<TxId, usize> = HashMap::new();
+    let mut index: BTreeMap<TxId, usize> = BTreeMap::new();
     for t in h.committed() {
         if include_queries || !t.read_only {
             index.entry(t.tx).or_insert_with(|| {
@@ -467,8 +467,8 @@ mod tests {
     }
 
     fn history(txns: Vec<HistoryTxn>) -> History {
-        let mut versions = HashMap::new();
-        let mut latest = HashMap::new();
+        let mut versions = BTreeMap::new();
+        let mut latest = BTreeMap::new();
         for t in &txns {
             if !t.committed {
                 continue;

@@ -51,6 +51,12 @@ pub struct ClusterConfig {
     pub client_op_timeout: Option<SimDuration>,
     /// RNG seed for the whole deployment.
     pub seed: u64,
+    /// **Model-checker regression knob — never set in real runs.** Plumbed
+    /// to [`ReplicaConfig::bug_unreserved_commit_clocks`]: re-introduces
+    /// the pre-fix Walter PSI fractured-read bug so `gdur-mc` can prove it
+    /// finds it.
+    #[doc(hidden)]
+    pub bug_unreserved_commit_clocks: bool,
 }
 
 impl ClusterConfig {
@@ -72,6 +78,7 @@ impl ClusterConfig {
             max_read_attempts: None,
             client_op_timeout: None,
             seed: 42,
+            bug_unreserved_commit_clocks: false,
         }
     }
 }
@@ -141,6 +148,7 @@ impl Cluster {
                 max_read_attempts: cfg.max_read_attempts,
                 persistence: cfg.persistence,
                 record_history: cfg.record_history,
+                bug_unreserved_commit_clocks: cfg.bug_unreserved_commit_clocks,
             };
             let seed_keys: Vec<(Key, Value)> = (0..total_keys)
                 .map(Key)

@@ -54,6 +54,14 @@ pub struct ReplicaConfig {
     pub persistence: bool,
     /// Record install/outcome events for consistency checking.
     pub record_history: bool,
+    /// **Model-checker regression knob — never set in real runs.** Forces
+    /// the legacy bump-at-install commit clocks even for vote-clocked
+    /// protocols, re-introducing the Walter PSI fractured-read bug (one
+    /// transaction's installs stamped independently per site) that the
+    /// vote-time clock-reservation fix removed. `gdur-mc` uses it to prove
+    /// the explorer finds that bug; see `gdur-analysis`.
+    #[doc(hidden)]
+    pub bug_unreserved_commit_clocks: bool,
 }
 
 /// An after-value installation, recorded for consistency checking.
@@ -1886,7 +1894,9 @@ impl Replica {
     /// total-order protocols (`LocalDecide`) and scalar TS keep the legacy
     /// bump-at-install clocks.
     fn vote_clocked(&self) -> bool {
-        self.cfg.spec.votes == VoteRule::Distributed && self.cfg.spec.versioning != Mechanism::Ts
+        !self.cfg.bug_unreserved_commit_clocks
+            && self.cfg.spec.votes == VoteRule::Distributed
+            && self.cfg.spec.versioning != Mechanism::Ts
     }
 
     /// Reserves this replica's commit-clock slots for `payload`'s locally

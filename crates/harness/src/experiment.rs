@@ -278,6 +278,7 @@ fn run_point_full(
         max_read_attempts: None,
         client_op_timeout: None,
         seed: scale.seed ^ (clients_per_site as u64) << 32,
+        bug_unreserved_commit_clocks: false,
     };
     let ro = exp.read_only_ratio;
     let lq = exp.local_query_ratio;

@@ -335,6 +335,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> (ChaosReport, Vec<ObsEvent>) {
         max_read_attempts: Some(6),
         client_op_timeout: Some(SimDuration::from_secs(2)),
         seed: cfg.seed,
+        bug_unreserved_commit_clocks: false,
     };
     let mut cluster = Cluster::build(ccfg, |_idx, site| {
         Box::new(YcsbSource::new(

@@ -18,12 +18,14 @@
 pub mod experiment;
 pub mod fault;
 pub mod figures;
+pub mod invariants;
 pub mod plot;
 pub mod report;
 
 pub use fault::{
     chaos_library, run_chaos, stores_converged, ChaosConfig, ChaosReport, FaultEvent, FaultSchedule,
 };
+pub use invariants::check_invariants;
 
 pub use experiment::{
     max_throughput, run_point, run_point_events, run_point_traced, run_sweep, Experiment,

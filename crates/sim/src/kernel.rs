@@ -31,6 +31,7 @@ use rand::SeedableRng;
 
 use crate::actor::{Actor, ProcessId, WireSize};
 use crate::obs::{ObsEvent, ObsSink};
+use crate::sched::{Candidate, CandidateKind, Scheduler};
 use crate::time::{SimDuration, SimTime};
 
 /// Computes point-to-point message delay.
@@ -299,6 +300,11 @@ pub struct Simulation<A: Actor, L: LatencyModel> {
     stats: SimStats,
     scratch: Vec<Output<A::Msg>>,
     obs: Option<Box<dyn ObsSink>>,
+    sched: Option<Box<dyn Scheduler>>,
+    /// Scratch for the scheduler hook's co-enabled window (events + their
+    /// payload-free summaries), reused across choice points.
+    cand_events: Vec<QueuedEvent<A::Msg>>,
+    cand_meta: Vec<Candidate>,
 }
 
 impl<A: Actor, L: LatencyModel> Simulation<A, L> {
@@ -316,6 +322,9 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
             stats: SimStats::default(),
             scratch: Vec::new(),
             obs: None,
+            sched: None,
+            cand_events: Vec::new(),
+            cand_meta: Vec::new(),
         }
     }
 
@@ -330,6 +339,18 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
     /// Detaches and returns the observability sink, if any.
     pub fn detach_obs(&mut self) -> Option<Box<dyn ObsSink>> {
         self.obs.take()
+    }
+
+    /// Attaches a [`Scheduler`] that reorders co-enabled arrivals (see the
+    /// [`sched`](crate::sched) module). Without one, the dispatch loop runs
+    /// the historical strict `(time, seq)` path untouched.
+    pub fn attach_scheduler(&mut self, sched: Box<dyn Scheduler>) {
+        self.sched = Some(sched);
+    }
+
+    /// Detaches and returns the scheduler, if any.
+    pub fn detach_scheduler(&mut self) -> Option<Box<dyn Scheduler>> {
+        self.sched.take()
     }
 
     /// Adds an actor with the given CPU model; returns its process id.
@@ -567,6 +588,10 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
                 self.time = until;
                 return self.time;
             }
+            if self.sched.is_some() && matches!(ev.kind, EventKind::Arrival(..)) {
+                self.step_scheduled(until);
+                continue;
+            }
             let Reverse(ev) = self.queue.pop().expect("peeked");
             debug_assert!(ev.time >= self.time, "time went backwards");
             self.time = ev.time;
@@ -581,6 +606,83 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
             }
         }
         self.time
+    }
+
+    /// One step of the dispatch loop with a [`Scheduler`] attached and an
+    /// arrival at the head of the queue: collect the co-enabled window, let
+    /// the scheduler pick, run the pick at its own instant, and re-queue
+    /// the passed-over candidates bumped up to that instant (bounded-jitter
+    /// semantics — virtual time stays monotone).
+    ///
+    /// The window contains only [`EventKind::Arrival`] events: it closes at
+    /// the first dispatch or fault event in `(time, seq)` order, so core
+    /// bookkeeping and injected faults are never reordered, and at the
+    /// window bound `min(head + window, until)`, so the horizon contract of
+    /// [`Simulation::run_until`] is preserved.
+    fn step_scheduled(&mut self, until: SimTime) {
+        let window = self.sched.as_ref().expect("scheduler attached").window();
+        let head = self.queue.peek().expect("caller peeked").0.time;
+        let hi = std::cmp::min(head + window, until);
+        let mut events = std::mem::take(&mut self.cand_events);
+        let mut meta = std::mem::take(&mut self.cand_meta);
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time > hi || !matches!(ev.kind, EventKind::Arrival(..)) {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            let EventKind::Arrival(to, job) = &ev.kind else {
+                unreachable!("peek checked Arrival");
+            };
+            // An arrival that will only retire kernel bookkeeping (a
+            // canceled timer draining, or anything addressed to a crashed
+            // actor) commutes with every other event; flag it so explorers
+            // don't branch on its order.
+            let slot = &self.actors[to.index()];
+            let inert = slot.crashed
+                || matches!(job, Job::Timer { id, .. } if slot.canceled_timers.contains(id));
+            meta.push(Candidate {
+                time: ev.time,
+                seq: ev.seq,
+                to: *to,
+                kind: match job {
+                    Job::Start => CandidateKind::Start,
+                    Job::Message { from, .. } => CandidateKind::Message { from: *from },
+                    Job::Timer { tag, .. } => CandidateKind::Timer { tag: *tag },
+                    Job::Restart => CandidateKind::Restart,
+                },
+                inert,
+            });
+            events.push(ev);
+        }
+        let idx = if events.len() == 1 {
+            0
+        } else {
+            let i = self
+                .sched
+                .as_mut()
+                .expect("scheduler attached")
+                .choose(self.time, &meta);
+            assert!(i < events.len(), "scheduler chose out of range");
+            i
+        };
+        let chosen = events.swap_remove(idx);
+        debug_assert!(chosen.time >= self.time, "time went backwards");
+        self.time = chosen.time;
+        for mut ev in events.drain(..) {
+            // Passed-over arrivals keep their seq (so a re-collected window
+            // is offered in a stable order) but may not stay in the past.
+            if ev.time < self.time {
+                ev.time = self.time;
+            }
+            self.queue.push(Reverse(ev));
+        }
+        meta.clear();
+        self.cand_events = events;
+        self.cand_meta = meta;
+        match chosen.kind {
+            EventKind::Arrival(to, job) => self.arrive(to, chosen.seq, job),
+            _ => unreachable!("window admits only arrivals"),
+        }
     }
 
     /// Runs until the event queue is empty or an actor halts the simulation.
@@ -725,6 +827,7 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::FifoScheduler;
 
     /// A test actor that records deliveries and echoes pings.
     struct Echo {
@@ -1243,5 +1346,92 @@ mod tests {
         assert_eq!(sim.actor(a).log.len(), 0);
         sim.run_until_idle();
         assert_eq!(sim.actor(a).log.len(), 2);
+    }
+
+    /// Pins the tie-break the model checker's co-enabled sets depend on:
+    /// events at the same virtual instant run in the order of the sequence
+    /// numbers assigned at *scheduling* time, globally across actors. Two
+    /// injections to one actor are serviced in injection order; an
+    /// interleaved injection to another actor neither reorders them nor is
+    /// reordered by them.
+    #[test]
+    fn equal_instant_arrivals_run_in_scheduling_order() {
+        let mut sim = Simulation::new(ZeroLatency, 1);
+        let a = sim.spawn(Echo::new(), Cores::Fixed(1));
+        let b = sim.spawn(Echo::new(), Cores::Fixed(1));
+        let env = ProcessId(99);
+        let at = SimTime::from_nanos(1_000);
+        sim.inject(env, a, Ping(7), at);
+        sim.inject(env, b, Ping(8), at);
+        sim.inject(env, a, Ping(9), at);
+        sim.run_until_idle();
+        assert_eq!(sim.actor(a).log, vec![(at, env, 7), (at, env, 9)]);
+        assert_eq!(sim.actor(b).log, vec![(at, env, 8)]);
+    }
+
+    /// Attaching the identity scheduler must be perturbation-free: same
+    /// logs, same clock, same stats as the default no-scheduler path.
+    #[test]
+    fn fifo_scheduler_is_identity() {
+        fn run(attach: bool) -> (Vec<(SimTime, ProcessId, u32)>, SimTime, SimStats) {
+            let mut sim = Simulation::new(UniformLatency(SimDuration::from_millis(10)), 42);
+            let a = sim.spawn(Echo::new(), Cores::Fixed(1));
+            let b = sim.spawn(Echo::new(), Cores::Fixed(1));
+            sim.actor_mut(a).peer = Some(b);
+            sim.actor_mut(a).send_on_start = true;
+            sim.actor_mut(b).cost = SimDuration::from_millis(3);
+            if attach {
+                sim.attach_scheduler(Box::new(FifoScheduler));
+            }
+            let end = sim.run_until_idle();
+            let mut log = sim.actor(a).log.clone();
+            log.extend(sim.actor(b).log.iter().copied());
+            (log, end, sim.stats())
+        }
+        assert_eq!(run(false), run(true));
+    }
+
+    /// A scheduler picking the *last* candidate of every co-enabled window.
+    struct LastScheduler(SimDuration);
+    impl Scheduler for LastScheduler {
+        fn window(&self) -> SimDuration {
+            self.0
+        }
+        fn choose(&mut self, _: SimTime, candidates: &[Candidate]) -> usize {
+            candidates.len() - 1
+        }
+    }
+
+    #[test]
+    fn scheduler_reorders_same_instant_arrivals() {
+        let mut sim = Simulation::new(ZeroLatency, 1);
+        let a = sim.spawn(Echo::new(), Cores::Fixed(1));
+        let env = ProcessId(99);
+        sim.inject(env, a, Ping(7), SimTime::ZERO);
+        sim.inject(env, a, Ping(8), SimTime::ZERO);
+        sim.attach_scheduler(Box::new(LastScheduler(SimDuration::ZERO)));
+        sim.run_until_idle();
+        // Delivery order inverted relative to injection order.
+        assert_eq!(
+            sim.actor(a).log,
+            vec![(SimTime::ZERO, env, 8), (SimTime::ZERO, env, 7)]
+        );
+    }
+
+    /// Delay-bounded choice: running a later arrival first bumps the
+    /// passed-over earlier arrivals up to the chosen instant, so virtual
+    /// time stays monotone and the reorder reads as bounded network jitter.
+    #[test]
+    fn scheduler_window_bumps_passed_over_arrivals() {
+        let mut sim = Simulation::new(ZeroLatency, 1);
+        let a = sim.spawn(Echo::new(), Cores::Fixed(1));
+        let env = ProcessId(99);
+        let later = SimTime::from_nanos(2_000);
+        sim.inject(env, a, Ping(7), SimTime::ZERO);
+        sim.inject(env, a, Ping(8), later);
+        sim.attach_scheduler(Box::new(LastScheduler(SimDuration::from_micros(10))));
+        sim.run_until_idle();
+        // Ping(8) runs first at its own instant; Ping(7) was bumped to it.
+        assert_eq!(sim.actor(a).log, vec![(later, env, 8), (later, env, 7)]);
     }
 }

@@ -62,6 +62,7 @@
 mod actor;
 mod kernel;
 mod obs;
+mod sched;
 mod time;
 
 pub use actor::{Actor, ProcessId, WireSize};
@@ -70,4 +71,5 @@ pub use kernel::{
     KERNEL_RESTART,
 };
 pub use obs::{ObsEvent, ObsSink};
+pub use sched::{Candidate, CandidateKind, FifoScheduler, Scheduler};
 pub use time::{SimDuration, SimTime};

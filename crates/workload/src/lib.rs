@@ -306,7 +306,7 @@ mod tests {
     fn workload_c_is_skewed() {
         let mut r = rng();
         let mut src = YcsbSource::new(WorkloadSpec::c(10_000), 10_000, 4, 0, 0.0);
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for _ in 0..5000 {
             for op in src.next_plan(&mut r).ops {
                 *counts.entry(op.key()).or_insert(0u32) += 1;
