@@ -6,7 +6,8 @@
 # Tiers:
 #   ./ci.sh --fast   formatting, clippy, debug tests — the edit-loop tier
 #   ./ci.sh          the full gate: fast tier + release build/tests,
-#                    detlint --dynamic, obs_smoke, chaos_smoke, mc_smoke, perf_gate
+#                    detlint --dynamic, obs_smoke, chaos_smoke, mc_smoke,
+#                    trace_smoke, perf_gate
 #
 # Each step reports its wall-clock seconds; SKIP_PERF_GATE=1 skips the
 # wall-clock regression gate (it only means something on an idle machine).
@@ -62,6 +63,9 @@ step "chaos_smoke (fault schedules: crash/partition/heal/restart, golden diff)" 
 
 step "mc_smoke (DPOR-lite schedule exploration + PSI-bug regression, golden diff)" \
     cargo run -q --release -p gdur-bench --bin mc_smoke
+
+step "trace_smoke (causal tracing: exact attribution, span trees, chrome export, golden diff)" \
+    cargo run -q --release -p gdur-bench --bin trace_smoke
 
 # Wall-clock regression gate against the blessed reference in
 # BENCH_sim.json. Skippable because wall-clock is only meaningful on an

@@ -3,19 +3,21 @@
 //! ```text
 //! gdur-mc list
 //! gdur-mc explore <label> [--budget N] [--random N] [--seed S] [--out FILE]
-//! gdur-mc replay <counterexample-file> [--trace FILE]
+//! gdur-mc replay <counterexample-file> [--trace FILE] [--chrome FILE]
 //! ```
 //!
 //! `explore` runs bounded DFS (or `--random` uniform walks) over the named
 //! configuration and writes a minimized, replayable counterexample file on
 //! violation. `replay` re-executes a counterexample's exact schedule and
-//! dumps the violating run's observability trace as jsonl.
+//! dumps the violating run's observability trace as jsonl (`--trace`)
+//! and/or as a Chrome/Perfetto trace with one track per actor and flow
+//! arrows along the message edges of the violating schedule (`--chrome`).
 
 use std::process::ExitCode;
 
 use gdur_analysis::mc::{
-    explore, mc_library, random_walks, replay, walter_psi_bug_config, Counterexample,
-    ExploreResult, McConfig,
+    explore, mc_library, random_walks, replay, replay_causal, walter_psi_bug_config,
+    Counterexample, ExploreResult, McConfig,
 };
 
 fn configs() -> Vec<McConfig> {
@@ -126,6 +128,20 @@ fn main() -> ExitCode {
             if let Some(out) = flag("--trace") {
                 std::fs::write(&out, jsonl).expect("write trace");
                 println!("trace written to {out}");
+            }
+            if let Some(out) = flag("--chrome") {
+                // A second, causally-traced replay of the same schedule:
+                // deterministic, so it reproduces the identical run with
+                // handler brackets and message ids added.
+                let causal = replay_causal(&cx).expect("rebuild config");
+                let ix = gdur_obs::CausalIndex::build(&causal.trace);
+                let chrome = gdur_obs::export_chrome(&causal.trace, &ix, &causal.actor_names);
+                gdur_obs::validate_json(&chrome).expect("chrome export self-validates");
+                std::fs::write(&out, chrome).expect("write chrome trace");
+                println!(
+                    "chrome trace written to {out} \
+                     (load in chrome://tracing or https://ui.perfetto.dev)"
+                );
             }
             match violations.first() {
                 Some(v) => {

@@ -261,9 +261,12 @@ pub struct ScheduleOutcome {
     pub violations: Vec<String>,
     /// The observability trace (only when requested).
     pub trace: Vec<ObsEvent>,
+    /// Display name per actor, indexed by process id (`replica p0 @ s0`,
+    /// `client p3 @ s1`, ...), for trace tooling.
+    pub actor_names: Vec<String>,
 }
 
-fn run_with_policy(cfg: &McConfig, policy: Policy, traced: bool) -> ScheduleOutcome {
+fn run_with_policy(cfg: &McConfig, policy: Policy, trace: Option<TraceHandle>) -> ScheduleOutcome {
     let mut cluster = build_cluster(cfg);
     let log = Arc::new(Mutex::new(McLog::default()));
     cluster.sim_mut().attach_scheduler(Box::new(McScheduler {
@@ -271,12 +274,20 @@ fn run_with_policy(cfg: &McConfig, policy: Policy, traced: bool) -> ScheduleOutc
         policy,
         log: Arc::clone(&log),
     }));
-    let trace = TraceHandle::new();
-    if traced {
-        cluster.attach_obs(trace.sink());
+    if let Some(t) = &trace {
+        cluster.attach_obs(t.sink());
     }
     cluster.run_until_idle();
     let violations = check_invariants(&cfg.spec, &cluster);
+    let topology = cluster.topology();
+    let total_actors = cluster.replica_pids().len() + cluster.client_pids().len();
+    let mut actor_names = vec![String::new(); total_actors];
+    for &p in cluster.replica_pids() {
+        actor_names[p.index()] = format!("replica p{} @ s{}", p.0, topology.site_of(p).0);
+    }
+    for &p in cluster.client_pids() {
+        actor_names[p.index()] = format!("client p{} @ s{}", p.0, topology.site_of(p).0);
+    }
     let mut log = log.lock().expect("mc log poisoned");
     ScheduleOutcome {
         decisions: std::mem::take(&mut log.decisions),
@@ -284,7 +295,8 @@ fn run_with_policy(cfg: &McConfig, policy: Policy, traced: bool) -> ScheduleOutc
         naive_branches: log.naive_branches,
         explored_branches: log.explored_branches,
         violations,
-        trace: if traced { trace.take() } else { Vec::new() },
+        trace: trace.map(|t| t.take()).unwrap_or_default(),
+        actor_names,
     }
 }
 
@@ -297,7 +309,23 @@ pub fn run_schedule(cfg: &McConfig, plan: &[u32], traced: bool) -> ScheduleOutco
             plan: plan.to_vec(),
             pos: 0,
         },
-        traced,
+        traced.then(TraceHandle::new),
+    )
+}
+
+/// Like [`run_schedule`], but with a *causal* trace sink attached: the
+/// returned trace additionally carries message ids, `Deliver` records and
+/// handler service brackets, so it feeds `gdur_obs::CausalIndex` (span
+/// trees, critical-path attribution, Chrome export). [`run_schedule`]'s
+/// plain traces are untouched — their event counts stay golden-pinned.
+pub fn run_schedule_causal(cfg: &McConfig, plan: &[u32]) -> ScheduleOutcome {
+    run_with_policy(
+        cfg,
+        Policy::Guided {
+            plan: plan.to_vec(),
+            pos: 0,
+        },
+        Some(TraceHandle::causal()),
     )
 }
 
@@ -448,6 +476,14 @@ pub fn replay(cx: &Counterexample) -> Result<(Vec<String>, Vec<ObsEvent>), Strin
     let cfg = cx.config()?;
     let out = run_schedule(&cfg, &cx.decisions, true);
     Ok((out.violations, out.trace))
+}
+
+/// Like [`replay`], but records the kernel causal events too and returns
+/// the actor display names — everything the span-tree, attribution and
+/// Chrome-export layers need to visualize the violating schedule.
+pub fn replay_causal(cx: &Counterexample) -> Result<ScheduleOutcome, String> {
+    let cfg = cx.config()?;
+    Ok(run_schedule_causal(&cfg, &cx.decisions))
 }
 
 /// Delta-debugging over choice points: drops trailing defaults, then
@@ -606,7 +642,7 @@ pub fn random_walks(cfg: &McConfig, walks: u64, walk_seed: u64) -> ExploreResult
     };
     for i in 0..walks {
         let rng = SmallRng::seed_from_u64(walk_seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        let out = run_with_policy(cfg, Policy::Random(rng), false);
+        let out = run_with_policy(cfg, Policy::Random(rng), None);
         result.schedules += 1;
         result.choice_points += out.arities.len() as u64;
         result.naive_branches += out.naive_branches;

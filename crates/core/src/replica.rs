@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use gdur_gc::{GcEvent, GroupComm, XcastKind};
 use gdur_net::SiteId;
-use gdur_obs::{labels, tx_code, AbortCause};
+use gdur_obs::{labels, tx_code, vote_value, AbortCause};
 use gdur_sim::{Context, ProcessId, SimDuration, SimTime};
 use gdur_store::{Key, MultiVersionStore, Placement, TxId, Value};
 use gdur_versioning::{Mechanism, Stamp, VersionVec};
@@ -1328,7 +1328,11 @@ impl Replica {
             p.reserved = clocks.clone();
         }
         self.stats.votes_cast += 1;
-        ctx.trace(labels::TXN_VOTE, tx_code(tx.coord, tx.seq), yes as u64);
+        ctx.trace(
+            labels::TXN_VOTE,
+            tx_code(tx.coord, tx.seq),
+            vote_value(self.me, yes),
+        );
         self.send_vote(ctx, &payload, yes, clocks);
     }
 
@@ -1360,7 +1364,11 @@ impl Replica {
             p.reserved = clocks.clone();
         }
         self.stats.votes_cast += 1;
-        ctx.trace(labels::TXN_VOTE, tx_code(tx.coord, tx.seq), yes as u64);
+        ctx.trace(
+            labels::TXN_VOTE,
+            tx_code(tx.coord, tx.seq),
+            vote_value(self.me, yes),
+        );
         // 2PC votes go to the coordinator only.
         if payload.coord == self.me {
             self.record_vote(ctx, tx, self.cfg.site, yes, clocks);

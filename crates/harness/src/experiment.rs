@@ -1,9 +1,12 @@
 //! Experiment definitions and single-point runs.
 
+use std::collections::BTreeSet;
+
 use gdur_consistency::{CriterionCheck, History};
 use gdur_core::{Cluster, ClusterConfig, CostModel, ProtocolSpec, TxnRecord};
+use gdur_net::Topology;
 use gdur_obs::{Histogram, ObsEvent, PhaseBreakdown, TraceHandle};
-use gdur_sim::{SimDuration, SimTime};
+use gdur_sim::{ProcessId, SimDuration, SimTime};
 use gdur_store::Placement;
 use gdur_workload::{WorkloadSpec, YcsbSource};
 
@@ -206,7 +209,7 @@ fn summarize(records: &[TxnRecord], window: SimDuration, clients_total: usize) -
 /// Runs one sweep point: a full deployment at `clients_per_site`, with a
 /// warm-up excluded from the reported window.
 pub fn run_point(exp: &Experiment, scale: &Scale, clients_per_site: usize) -> PointResult {
-    run_point_impl(exp, scale, clients_per_site, false).0
+    run_point_full(exp, scale, clients_per_site, None).point
 }
 
 /// Like [`run_point`], but also returns the kernel's [`gdur_sim::SimStats`]
@@ -219,8 +222,8 @@ pub fn run_point_events(
     scale: &Scale,
     clients_per_site: usize,
 ) -> (PointResult, gdur_sim::SimStats) {
-    let (point, stats, _) = run_point_full(exp, scale, clients_per_site, false);
-    (point, stats)
+    let run = run_point_full(exp, scale, clients_per_site, None);
+    (run.point, run.stats)
 }
 
 /// Like [`run_point`], but with an observability sink attached for the whole
@@ -232,31 +235,65 @@ pub fn run_point_traced(
     scale: &Scale,
     clients_per_site: usize,
 ) -> (PointResult, PhaseBreakdown, Vec<ObsEvent>) {
-    let (point, extra) = run_point_impl(exp, scale, clients_per_site, true);
-    let (breakdown, events) = extra.expect("traced run records a breakdown");
-    (point, breakdown, events)
+    let run = run_point_full(exp, scale, clients_per_site, Some(TraceHandle::new()));
+    let (breakdown, events) = run.extra.expect("traced run records a breakdown");
+    (run.point, breakdown, events)
 }
 
-fn run_point_impl(
-    exp: &Experiment,
-    scale: &Scale,
-    clients_per_site: usize,
-    traced: bool,
-) -> (PointResult, Option<(PhaseBreakdown, Vec<ObsEvent>)>) {
-    let (point, _, extra) = run_point_full(exp, scale, clients_per_site, traced);
-    (point, extra)
+/// One causally-traced sweep point: everything the span-tree, critical-path
+/// and Chrome-export layers need, bundled.
+#[derive(Debug, Clone)]
+pub struct CausalRun {
+    /// The point measurements — bit-identical to an untraced [`run_point`].
+    pub point: PointResult,
+    /// Phase breakdown over the measurement window.
+    pub breakdown: PhaseBreakdown,
+    /// The full causal event trace (warm-up included).
+    pub events: Vec<ObsEvent>,
+    /// End of warm-up = start of the measurement window.
+    pub warm_end: SimTime,
+    /// The client actors (service time on them is client think time).
+    pub clients: BTreeSet<ProcessId>,
+    /// Display name per actor, indexed by process id.
+    pub actor_names: Vec<String>,
+    /// The deployment's site topology.
+    pub topology: Topology,
+}
+
+/// Like [`run_point_traced`], but with a *causal* sink: the trace also
+/// carries message ids, `Deliver` records and handler service brackets, so
+/// it feeds [`gdur_obs::CausalIndex`] directly. Still zero-perturbation:
+/// the [`PointResult`] stays bit-identical to [`run_point`]'s.
+pub fn run_point_causal(exp: &Experiment, scale: &Scale, clients_per_site: usize) -> CausalRun {
+    let run = run_point_full(exp, scale, clients_per_site, Some(TraceHandle::causal()));
+    let (breakdown, events) = run.extra.expect("traced run records a breakdown");
+    CausalRun {
+        point: run.point,
+        breakdown,
+        events,
+        warm_end: run.warm_end,
+        clients: run.clients,
+        actor_names: run.actor_names,
+        topology: run.topology,
+    }
+}
+
+struct FullRun {
+    point: PointResult,
+    stats: gdur_sim::SimStats,
+    warm_end: SimTime,
+    extra: Option<(PhaseBreakdown, Vec<ObsEvent>)>,
+    clients: BTreeSet<ProcessId>,
+    actor_names: Vec<String>,
+    topology: Topology,
 }
 
 fn run_point_full(
     exp: &Experiment,
     scale: &Scale,
     clients_per_site: usize,
-    traced: bool,
-) -> (
-    PointResult,
-    gdur_sim::SimStats,
-    Option<(PhaseBreakdown, Vec<ObsEvent>)>,
-) {
+    trace: Option<TraceHandle>,
+) -> FullRun {
     let placement = exp.placement.placement(exp.sites);
     let partitions = placement.partitions() as u64;
     let total_keys = scale.keys_per_partition * partitions;
@@ -293,7 +330,6 @@ fn run_point_full(
         .with_local_query_ratio(lq);
         Box::new(src)
     });
-    let trace = traced.then(TraceHandle::new);
     if let Some(t) = &trace {
         cluster.attach_obs(t.sink());
     }
@@ -323,7 +359,25 @@ fn run_point_full(
         let breakdown = PhaseBreakdown::from_events(&events, cluster.topology(), warm_end);
         (breakdown, events)
     });
-    (point, stats, extra)
+    let topology = cluster.topology().clone();
+    let clients: BTreeSet<ProcessId> = cluster.client_pids().iter().copied().collect();
+    let total_actors = cluster.replica_pids().len() + cluster.client_pids().len();
+    let mut actor_names = vec![String::new(); total_actors];
+    for &p in cluster.replica_pids() {
+        actor_names[p.index()] = format!("replica p{} @ s{}", p.0, topology.site_of(p).0);
+    }
+    for &p in cluster.client_pids() {
+        actor_names[p.index()] = format!("client p{} @ s{}", p.0, topology.site_of(p).0);
+    }
+    FullRun {
+        point,
+        stats,
+        warm_end,
+        extra,
+        clients,
+        actor_names,
+        topology,
+    }
 }
 
 /// Runs the whole client sweep of an experiment, one OS thread per point.

@@ -154,6 +154,7 @@ impl PhaseBreakdown {
                     to,
                     label,
                     bytes,
+                    mid: _,
                 } => {
                     if at < window_start {
                         continue;
@@ -166,6 +167,12 @@ impl PhaseBreakdown {
                         flow.wan_bytes += bytes;
                     }
                 }
+                // Kernel causal events carry no phase information; the
+                // span/attribution layer (`crate::span`, `crate::attrib`)
+                // consumes them instead.
+                ObsEvent::Deliver { .. }
+                | ObsEvent::HandleStart { .. }
+                | ObsEvent::HandleEnd { .. } => {}
             }
         }
         for t in txs.values() {
@@ -294,6 +301,7 @@ mod tests {
             point(500, 9, labels::TXN_ABORT, b, AbortCause::VoteTimeout.code()),
             ObsEvent::Send {
                 at: SimTime::from_nanos(120),
+                mid: 1,
                 from: ProcessId(0),
                 to: ProcessId(1),
                 label: "vote",

@@ -23,7 +23,11 @@ pub mod labels {
     /// A replica popped the transaction off its certification queue
     /// (value: queue depth after the pop).
     pub const CERT_DEQUEUE: &str = "cert.dequeue";
-    /// A replica cast its certification vote (value: 1 = yes).
+    /// A replica cast its certification vote (value: packed voter id +
+    /// verdict, see [`vote_value`](super::vote_value) /
+    /// [`vote_parts`](super::vote_parts) — bit 0 is 1 = yes, the upper bits
+    /// identify the voting process, so trace consumers can name the
+    /// quorum straggler).
     pub const TXN_VOTE: &str = "txn.vote";
     /// The coordinator decided (value: 1 = commit).
     pub const TXN_DECIDE: &str = "txn.decide";
@@ -121,6 +125,24 @@ pub fn tx_code(coord: u32, seq: u64) -> u64 {
     ((coord as u64) << 40) | (seq & 0xff_ffff_ffff)
 }
 
+/// Splits a [`tx_code`] back into `(coordinator, sequence)`.
+pub fn tx_parts(code: u64) -> (u32, u64) {
+    ((code >> 40) as u32, code & 0xff_ffff_ffff)
+}
+
+/// Packs the payload of a [`labels::TXN_VOTE`] event: bit 0 is the verdict
+/// (1 = yes), the upper bits are the voting process id — enough for trace
+/// consumers to identify which replica's vote closed (or straggled behind)
+/// the quorum.
+pub fn vote_value(voter: gdur_sim::ProcessId, yes: bool) -> u64 {
+    ((voter.0 as u64) << 1) | yes as u64
+}
+
+/// Splits a [`vote_value`] payload back into `(voter, yes)`.
+pub fn vote_parts(value: u64) -> (gdur_sim::ProcessId, bool) {
+    (gdur_sim::ProcessId((value >> 1) as u32), value & 1 == 1)
+}
+
 /// A cloneable in-memory trace buffer.
 ///
 /// Hand one clone to the simulation (via [`TraceHandle::sink`]) and keep
@@ -130,12 +152,23 @@ pub fn tx_code(coord: u32, seq: u64) -> u64 {
 #[derive(Debug, Clone, Default)]
 pub struct TraceHandle {
     events: Arc<Mutex<Vec<ObsEvent>>>,
+    causal: bool,
 }
 
 impl TraceHandle {
     /// An empty trace buffer.
     pub fn new() -> Self {
         TraceHandle::default()
+    }
+
+    /// An empty trace buffer whose sinks opt into the kernel causal events
+    /// (`Deliver`/`HandleStart`/`HandleEnd`) — the input of the span and
+    /// attribution layers ([`crate::CausalIndex`]).
+    pub fn causal() -> Self {
+        TraceHandle {
+            events: Arc::default(),
+            causal: true,
+        }
     }
 
     /// A boxed sink recording into this buffer, for
@@ -168,6 +201,10 @@ impl TraceHandle {
 impl ObsSink for TraceHandle {
     fn record(&mut self, ev: ObsEvent) {
         self.events.lock().expect("trace lock").push(ev);
+    }
+
+    fn wants_causal(&self) -> bool {
+        self.causal
     }
 }
 

@@ -3,18 +3,28 @@
 //! One JSON object per line, fields in a fixed order so same-seed runs
 //! export byte-identical streams. The schema is small enough that both the
 //! writer and the validator are hand-rolled (the workspace builds offline,
-//! with no serde):
+//! with no serde).
+//!
+//! Schema `v2` (current writer output):
 //!
 //! ```text
 //! {"at":<u64>,"kind":"point","actor":<u32>,"label":"<s>","tx":<u64>,"value":<u64>}
-//! {"at":<u64>,"kind":"send","from":<u32>,"to":<u32>,"label":"<s>","bytes":<u64>}
+//! {"at":<u64>,"kind":"send","mid":<u64>,"from":<u32>,"to":<u32>,"label":"<s>","bytes":<u64>}
+//! {"at":<u64>,"kind":"deliver","mid":<u64>,"to":<u32>}
+//! {"at":<u64>,"kind":"handle_start","actor":<u32>,"mid":<u64>,"trigger":"<s>"}
+//! {"at":<u64>,"kind":"handle_end","actor":<u32>,"mid":<u64>}
 //! ```
+//!
+//! Schema `v1` differs only in the `send` line, which carried no `mid`
+//! field and no causal kinds. [`validate`] accepts both versions (a v1
+//! trace is any stream of v1 points/sends), so tooling written against v1
+//! archives keeps working.
 
 use std::fmt::Write as _;
 
 use gdur_sim::ObsEvent;
 
-/// Renders `events` as JSONL, one event per line, in input order.
+/// Renders `events` as JSONL, one event per line, in input order (v2).
 pub fn export(events: &[ObsEvent]) -> String {
     let mut out = String::new();
     for ev in events {
@@ -37,18 +47,50 @@ pub fn export(events: &[ObsEvent]) -> String {
             .expect("write to String"),
             ObsEvent::Send {
                 at,
+                mid,
                 from,
                 to,
                 label,
                 bytes,
             } => writeln!(
                 out,
-                "{{\"at\":{},\"kind\":\"send\",\"from\":{},\"to\":{},\"label\":\"{}\",\"bytes\":{}}}",
+                "{{\"at\":{},\"kind\":\"send\",\"mid\":{},\"from\":{},\"to\":{},\"label\":\"{}\",\"bytes\":{}}}",
                 at.as_nanos(),
+                mid,
                 from.0,
                 to.0,
                 label,
                 bytes
+            )
+            .expect("write to String"),
+            ObsEvent::Deliver { at, mid, to } => writeln!(
+                out,
+                "{{\"at\":{},\"kind\":\"deliver\",\"mid\":{},\"to\":{}}}",
+                at.as_nanos(),
+                mid,
+                to.0
+            )
+            .expect("write to String"),
+            ObsEvent::HandleStart {
+                at,
+                actor,
+                mid,
+                trigger,
+            } => writeln!(
+                out,
+                "{{\"at\":{},\"kind\":\"handle_start\",\"actor\":{},\"mid\":{},\"trigger\":\"{}\"}}",
+                at.as_nanos(),
+                actor.0,
+                mid,
+                trigger
+            )
+            .expect("write to String"),
+            ObsEvent::HandleEnd { at, actor, mid } => writeln!(
+                out,
+                "{{\"at\":{},\"kind\":\"handle_end\",\"actor\":{},\"mid\":{}}}",
+                at.as_nanos(),
+                actor.0,
+                mid
             )
             .expect("write to String"),
         }
@@ -56,8 +98,9 @@ pub fn export(events: &[ObsEvent]) -> String {
     out
 }
 
-/// Validates a JSONL trace against the schema above. Returns the number of
-/// event lines on success, or a description of the first offending line.
+/// Validates a JSONL trace against the schemas above — v1 and v2 lines are
+/// both accepted. Returns the number of event lines on success, or a
+/// description of the first offending line.
 pub fn validate(text: &str) -> Result<usize, String> {
     let mut n = 0;
     for (i, line) in text.lines().enumerate() {
@@ -82,6 +125,10 @@ fn validate_line(line: &str) -> Result<(), String> {
         expect(&mut rest, ",\"value\":")?;
         number(&mut rest)?;
     } else if eat(&mut rest, "send\"") {
+        // v2 sends carry a mid right after the kind; v1 sends do not.
+        if eat(&mut rest, ",\"mid\":") {
+            number(&mut rest)?;
+        }
         expect(&mut rest, ",\"from\":")?;
         number(&mut rest)?;
         expect(&mut rest, ",\"to\":")?;
@@ -89,6 +136,23 @@ fn validate_line(line: &str) -> Result<(), String> {
         expect(&mut rest, ",\"label\":\"")?;
         string(&mut rest)?;
         expect(&mut rest, ",\"bytes\":")?;
+        number(&mut rest)?;
+    } else if eat(&mut rest, "deliver\"") {
+        expect(&mut rest, ",\"mid\":")?;
+        number(&mut rest)?;
+        expect(&mut rest, ",\"to\":")?;
+        number(&mut rest)?;
+    } else if eat(&mut rest, "handle_start\"") {
+        expect(&mut rest, ",\"actor\":")?;
+        number(&mut rest)?;
+        expect(&mut rest, ",\"mid\":")?;
+        number(&mut rest)?;
+        expect(&mut rest, ",\"trigger\":\"")?;
+        string(&mut rest)?;
+    } else if eat(&mut rest, "handle_end\"") {
+        expect(&mut rest, ",\"actor\":")?;
+        number(&mut rest)?;
+        expect(&mut rest, ",\"mid\":")?;
         number(&mut rest)?;
     } else {
         return Err(format!("unknown event kind in {line:?}"));
@@ -144,7 +208,7 @@ fn string(rest: &mut &str) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gdur_sim::{ProcessId, SimTime};
+    use gdur_sim::{trigger, ProcessId, SimTime};
 
     fn sample() -> Vec<ObsEvent> {
         vec![
@@ -157,10 +221,27 @@ mod tests {
             },
             ObsEvent::Send {
                 at: SimTime::from_nanos(20),
+                mid: 9,
                 from: ProcessId(3),
                 to: ProcessId(4),
                 label: "vote",
                 bytes: 128,
+            },
+            ObsEvent::Deliver {
+                at: SimTime::from_nanos(30),
+                mid: 9,
+                to: ProcessId(4),
+            },
+            ObsEvent::HandleStart {
+                at: SimTime::from_nanos(30),
+                actor: ProcessId(4),
+                mid: 9,
+                trigger: trigger::MSG,
+            },
+            ObsEvent::HandleEnd {
+                at: SimTime::from_nanos(35),
+                actor: ProcessId(4),
+                mid: 9,
             },
         ]
     }
@@ -171,9 +252,19 @@ mod tests {
         assert_eq!(
             text,
             "{\"at\":10,\"kind\":\"point\",\"actor\":3,\"label\":\"txn.begin\",\"tx\":42,\"value\":1}\n\
-             {\"at\":20,\"kind\":\"send\",\"from\":3,\"to\":4,\"label\":\"vote\",\"bytes\":128}\n"
+             {\"at\":20,\"kind\":\"send\",\"mid\":9,\"from\":3,\"to\":4,\"label\":\"vote\",\"bytes\":128}\n\
+             {\"at\":30,\"kind\":\"deliver\",\"mid\":9,\"to\":4}\n\
+             {\"at\":30,\"kind\":\"handle_start\",\"actor\":4,\"mid\":9,\"trigger\":\"msg\"}\n\
+             {\"at\":35,\"kind\":\"handle_end\",\"actor\":4,\"mid\":9}\n"
         );
-        assert_eq!(validate(&text), Ok(2));
+        assert_eq!(validate(&text), Ok(5));
+    }
+
+    #[test]
+    fn v1_sends_without_mid_still_validate() {
+        let v1 =
+            "{\"at\":20,\"kind\":\"send\",\"from\":3,\"to\":4,\"label\":\"vote\",\"bytes\":128}";
+        assert_eq!(validate(v1), Ok(1));
     }
 
     #[test]
@@ -186,6 +277,10 @@ mod tests {
             )
             .is_err(),
             "empty labels are invalid"
+        );
+        assert!(
+            validate("{\"at\":1,\"kind\":\"deliver\",\"mid\":2}").is_err(),
+            "deliver must name a destination"
         );
         let mut ok = export(&sample());
         ok.push_str("junk\n");

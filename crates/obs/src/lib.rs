@@ -7,8 +7,11 @@
 //!
 //! * **Trace events** — the kernel ([`gdur_sim`]) emits [`ObsEvent`]s into
 //!   an attached [`ObsSink`]: phase-stamped transaction lifecycle points
-//!   (see [`labels`]) plus one `Send` record per message departure. The
-//!   [`TraceHandle`] here is the standard in-memory sink.
+//!   (see [`labels`]) plus one `Send` record per message departure. Sinks
+//!   that opt in (`wants_causal`) additionally get the causal events —
+//!   message ids on every send, `Deliver` records, and handler
+//!   service brackets. The [`TraceHandle`] here is the standard in-memory
+//!   sink; [`TraceHandle::causal`] builds the opted-in variant.
 //! * **Metrics** — [`MetricsRegistry`] and [`Histogram`] are BTree-backed
 //!   and fixed-bucket: snapshots are bit-identical across same-seed runs,
 //!   in line with the determinism lint of `gdur-analysis`.
@@ -18,20 +21,41 @@
 //!   paper-style explanation: mean/p99 per phase, certification-queue
 //!   depth and residence (the convoy effect), messages and WAN bytes per
 //!   message type, aborts by cause.
-//! * **Export** — [`jsonl`] renders and validates the on-disk trace format.
+//! * **Causal spans** — [`CausalIndex`] rebuilds the exact causal graph of
+//!   a run (which handler emitted which message, when it was delivered,
+//!   which handler serviced it); [`tx_span_tree`] stitches it into
+//!   per-transaction span trees.
+//! * **Critical-path attribution** — [`critical_path`] walks a committed
+//!   transaction's causal chain backwards and blames every nanosecond of
+//!   its latency on exactly one of {network, straggler, cert-queue,
+//!   service, client-think}; [`Attribution`] aggregates the walks into
+//!   byte-stable per-protocol tables.
+//! * **Export** — [`jsonl`] renders and validates the on-disk trace format
+//!   (schema v2, v1-compatible validation); [`export_chrome`] renders a
+//!   Chrome/Perfetto `trace.json` with one track per actor and flow arrows
+//!   along message edges.
 //!
 //! Everything here is observation-only: recording draws no virtual time and
 //! no randomness, so attaching a sink cannot perturb a run, and a disabled
 //! sink costs one branch per event site.
 
+mod attrib;
 mod breakdown;
+mod chrome;
 mod event;
 mod hist;
 pub mod jsonl;
 mod metrics;
+mod span;
 
+pub use attrib::{
+    critical_path, render_attribution_csv, render_attribution_text, Attribution, Blame,
+    CriticalPath, Segment,
+};
 pub use breakdown::{MsgFlow, Phase, PhaseBreakdown};
-pub use event::{labels, tx_code, AbortCause, TraceHandle};
+pub use chrome::{export_chrome, validate_json};
+pub use event::{labels, tx_code, tx_parts, vote_parts, vote_value, AbortCause, TraceHandle};
 pub use gdur_sim::{ObsEvent, ObsSink};
 pub use hist::Histogram;
 pub use metrics::MetricsRegistry;
+pub use span::{tx_span_tree, CausalIndex, HandlerRec, SendRec, Span};

@@ -30,7 +30,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::actor::{Actor, ProcessId, WireSize};
-use crate::obs::{ObsEvent, ObsSink};
+use crate::obs::{trigger, ObsEvent, ObsSink};
 use crate::sched::{Candidate, CandidateKind, Scheduler};
 use crate::time::{SimDuration, SimTime};
 
@@ -300,6 +300,9 @@ pub struct Simulation<A: Actor, L: LatencyModel> {
     stats: SimStats,
     scratch: Vec<Output<A::Msg>>,
     obs: Option<Box<dyn ObsSink>>,
+    /// Sampled from [`ObsSink::wants_causal`] at attach time: when set, the
+    /// kernel additionally emits `Deliver`/`HandleStart`/`HandleEnd` events.
+    obs_causal: bool,
     sched: Option<Box<dyn Scheduler>>,
     /// Scratch for the scheduler hook's co-enabled window (events + their
     /// payload-free summaries), reused across choice points.
@@ -322,6 +325,7 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
             stats: SimStats::default(),
             scratch: Vec::new(),
             obs: None,
+            obs_causal: false,
             sched: None,
             cand_events: Vec::new(),
             cand_meta: Vec::new(),
@@ -330,14 +334,18 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
 
     /// Attaches an observability sink receiving [`ObsEvent`]s: every
     /// [`Context::trace`] point plus one [`ObsEvent::Send`] per message
-    /// departure. Recording draws no time and no randomness, so a traced
-    /// run is bit-identical to an untraced one.
+    /// departure — and, if the sink opts in via [`ObsSink::wants_causal`],
+    /// the per-message `Deliver` and per-handler `HandleStart`/`HandleEnd`
+    /// causal events. Recording draws no time and no randomness, so a
+    /// traced run is bit-identical to an untraced one either way.
     pub fn attach_obs(&mut self, sink: Box<dyn ObsSink>) {
+        self.obs_causal = sink.wants_causal();
         self.obs = Some(sink);
     }
 
     /// Detaches and returns the observability sink, if any.
     pub fn detach_obs(&mut self) -> Option<Box<dyn ObsSink>> {
+        self.obs_causal = false;
         self.obs.take()
     }
 
@@ -709,8 +717,19 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
         }
         if matches!(job, Job::Message { .. }) {
             self.stats.messages_delivered += 1;
+            // Causal delivery edge: `seq` is the id stamped on the message's
+            // Send event, so consumers can pair departure with arrival.
+            if self.obs_causal {
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.record(ObsEvent::Deliver {
+                        at: self.time,
+                        mid: seq,
+                        to,
+                    });
+                }
+            }
         }
-        slot.pending.push_back((seq, job));
+        self.actors[to.index()].pending.push_back((seq, job));
         self.try_dispatch(to);
     }
 
@@ -725,8 +744,8 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
                 return;
             }
             if slot.unlimited {
-                let (_, job) = slot.pending.pop_front().expect("nonempty");
-                self.run_job(to, now, job, None);
+                let (seq, job) = slot.pending.pop_front().expect("nonempty");
+                self.run_job(to, now, seq, job, None);
                 continue;
             }
             let (core_idx, free) = slot
@@ -746,13 +765,36 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
                 }
                 return;
             }
-            let (_, job) = slot.pending.pop_front().expect("nonempty");
-            self.run_job(to, now, job, Some(core_idx));
+            let (seq, job) = slot.pending.pop_front().expect("nonempty");
+            self.run_job(to, now, seq, job, Some(core_idx));
         }
     }
 
-    fn run_job(&mut self, id: ProcessId, start: SimTime, job: Job<A::Msg>, core: Option<usize>) {
+    fn run_job(
+        &mut self,
+        id: ProcessId,
+        start: SimTime,
+        seq: u64,
+        job: Job<A::Msg>,
+        core: Option<usize>,
+    ) {
         self.stats.events_processed += 1;
+        if self.obs_causal {
+            let trig = match &job {
+                Job::Start => trigger::START,
+                Job::Message { .. } => trigger::MSG,
+                Job::Timer { .. } => trigger::TIMER,
+                Job::Restart => trigger::RESTART,
+            };
+            if let Some(obs) = self.obs.as_deref_mut() {
+                obs.record(ObsEvent::HandleStart {
+                    at: start,
+                    actor: id,
+                    mid: seq,
+                    trigger: trig,
+                });
+            }
+        }
         let mut outputs = std::mem::take(&mut self.scratch);
         let consumed;
         {
@@ -784,9 +826,15 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
                 Output::Send { to, msg, extra } => {
                     let bytes = msg.wire_size();
                     let delay = self.latency.delay(id, to, bytes, &mut self.rng);
+                    // The arrival pushed below is assigned the current
+                    // sequence number: stamping it on the Send gives every
+                    // message a monotone id that its Deliver and servicing
+                    // HandleStart share.
+                    let mid = self.seq;
                     if let Some(obs) = self.obs.as_deref_mut() {
                         obs.record(ObsEvent::Send {
                             at: end + extra,
+                            mid,
                             from: id,
                             to,
                             label: msg.wire_label(),
@@ -818,6 +866,17 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
                         slot.canceled_timers.insert(tid);
                     }
                 }
+            }
+        }
+        // The bracket closes after the output flush so that every Point and
+        // Send of this handler sits between its HandleStart and HandleEnd.
+        if self.obs_causal {
+            if let Some(obs) = self.obs.as_deref_mut() {
+                obs.record(ObsEvent::HandleEnd {
+                    at: end,
+                    actor: id,
+                    mid: seq,
+                });
             }
         }
         self.scratch = outputs;
@@ -1068,9 +1127,12 @@ mod tests {
                     tx: 7,
                     value: 1,
                 },
-                // ...departure at service end (start + 5ms consumed)...
+                // ...departure at service end (start + 5ms consumed); the
+                // mid is the seq of the arrival it schedules (start
+                // arrivals took 0 and 1)...
                 ObsEvent::Send {
                     at: SimTime::from_nanos(5_000_000),
+                    mid: 2,
                     from: b,
                     to: a,
                     label: "msg",
@@ -1088,21 +1150,155 @@ mod tests {
         );
     }
 
+    /// A test sink that opts into the kernel causal events.
+    #[derive(Clone)]
+    struct CausalShared(std::sync::Arc<std::sync::Mutex<Vec<ObsEvent>>>);
+    impl ObsSink for CausalShared {
+        fn record(&mut self, ev: ObsEvent) {
+            self.0.lock().expect("sink lock").push(ev);
+        }
+        fn wants_causal(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn causal_sink_records_delivery_and_service_brackets() {
+        struct Traced {
+            peer: Option<ProcessId>,
+        }
+        impl Actor for Traced {
+            type Msg = Ping;
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                if let Some(p) = self.peer {
+                    ctx.trace("start", 7, 1);
+                    ctx.consume(SimDuration::from_millis(5));
+                    ctx.send(p, Ping(0));
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, Ping>, _: ProcessId, _: Ping) {
+                ctx.trace("got", 7, 2);
+            }
+        }
+
+        let events = CausalShared(Default::default());
+        let mut sim = Simulation::new(UniformLatency(SimDuration::from_millis(10)), 1);
+        let a = sim.spawn(Traced { peer: None }, Cores::Fixed(1));
+        let b = sim.spawn(Traced { peer: Some(a) }, Cores::Fixed(1));
+        sim.attach_obs(Box::new(events.clone()));
+        sim.run_until_idle();
+        let log = events.0.lock().expect("sink lock").clone();
+        let t0 = SimTime::ZERO;
+        let t5 = SimTime::from_nanos(5_000_000);
+        let t15 = SimTime::from_nanos(15_000_000);
+        assert_eq!(
+            log,
+            vec![
+                // a's start handler (arrival seq 0): an empty bracket.
+                ObsEvent::HandleStart {
+                    at: t0,
+                    actor: a,
+                    mid: 0,
+                    trigger: trigger::START,
+                },
+                ObsEvent::HandleEnd {
+                    at: t0,
+                    actor: a,
+                    mid: 0,
+                },
+                // b's start handler (arrival seq 1): point at service
+                // start, send at service end, all inside the bracket.
+                ObsEvent::HandleStart {
+                    at: t0,
+                    actor: b,
+                    mid: 1,
+                    trigger: trigger::START,
+                },
+                ObsEvent::Point {
+                    at: t0,
+                    actor: b,
+                    label: "start",
+                    tx: 7,
+                    value: 1,
+                },
+                ObsEvent::Send {
+                    at: t5,
+                    mid: 2,
+                    from: b,
+                    to: a,
+                    label: "msg",
+                    bytes: 64,
+                },
+                ObsEvent::HandleEnd {
+                    at: t5,
+                    actor: b,
+                    mid: 1,
+                },
+                // Delivery and the servicing handler share the send's mid.
+                ObsEvent::Deliver {
+                    at: t15,
+                    mid: 2,
+                    to: a,
+                },
+                ObsEvent::HandleStart {
+                    at: t15,
+                    actor: a,
+                    mid: 2,
+                    trigger: trigger::MSG,
+                },
+                ObsEvent::Point {
+                    at: t15,
+                    actor: a,
+                    label: "got",
+                    tx: 7,
+                    value: 2,
+                },
+                ObsEvent::HandleEnd {
+                    at: t15,
+                    actor: a,
+                    mid: 2,
+                },
+            ]
+        );
+    }
+
     #[test]
     fn attaching_obs_does_not_perturb_the_run() {
-        fn run(traced: bool) -> Vec<(SimTime, ProcessId, u32)> {
+        // 0 = untraced, 1 = plain sink, 2 = causal sink: all identical.
+        fn run(mode: u8) -> Vec<(SimTime, ProcessId, u32)> {
             let mut sim = Simulation::new(UniformLatency(SimDuration::from_millis(3)), 7);
             let a = sim.spawn(Echo::new(), Cores::Fixed(1));
             let b = sim.spawn(Echo::new(), Cores::Fixed(1));
             sim.actor_mut(a).peer = Some(b);
             sim.actor_mut(a).send_on_start = true;
-            if traced {
-                sim.attach_obs(Box::new(Vec::new()));
+            match mode {
+                0 => {}
+                1 => sim.attach_obs(Box::new(Vec::new())),
+                _ => sim.attach_obs(Box::new(CausalShared(Default::default()))),
             }
             sim.run_until_idle();
             sim.actor(a).log.clone()
         }
-        assert_eq!(run(false), run(true));
+        assert_eq!(run(0), run(1));
+        assert_eq!(run(0), run(2));
+    }
+
+    #[test]
+    fn dropped_messages_get_no_deliver_event() {
+        let events = CausalShared(Default::default());
+        let mut sim = Simulation::new(ZeroLatency, 1);
+        let a = sim.spawn(Echo::new(), Cores::Fixed(1));
+        sim.attach_obs(Box::new(events.clone()));
+        sim.crash(a);
+        sim.inject(ProcessId(99), a, Ping(9), SimTime::ZERO);
+        sim.run_until_idle();
+        assert_eq!(sim.stats().messages_dropped, 1);
+        let log = events.0.lock().expect("sink lock").clone();
+        assert!(
+            !log.iter()
+                .any(|ev| matches!(ev, ObsEvent::Deliver { .. } | ObsEvent::HandleStart { .. })),
+            "a message dropped at a crashed actor must not be delivered or serviced"
+        );
     }
 
     #[test]

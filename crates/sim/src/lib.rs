@@ -70,6 +70,6 @@ pub use kernel::{
     Context, Cores, LatencyModel, SimStats, Simulation, UniformLatency, ZeroLatency, KERNEL_CRASH,
     KERNEL_RESTART,
 };
-pub use obs::{ObsEvent, ObsSink};
+pub use obs::{trigger, ObsEvent, ObsSink, KERNEL_DELIVER, KERNEL_HANDLE_END, KERNEL_HANDLE_START};
 pub use sched::{Candidate, CandidateKind, FifoScheduler, Scheduler};
 pub use time::{SimDuration, SimTime};
