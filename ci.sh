@@ -7,7 +7,10 @@
 #   ./ci.sh --fast   formatting, clippy, debug tests — the edit-loop tier
 #   ./ci.sh          the full gate: fast tier + release build/tests,
 #                    detlint --dynamic, obs_smoke, chaos_smoke, mc_smoke,
-#                    trace_smoke, perf_gate
+#                    trace_smoke, mega_smoke, perf_gate
+#
+# The 10⁵/10⁶-clients-per-site scale points stay out of CI; run them with
+# `cargo run --release -p gdur-bench --bin perf_gate -- --mega`.
 #
 # Each step reports its wall-clock seconds; SKIP_PERF_GATE=1 skips the
 # wall-clock regression gate (it only means something on an idle machine).
@@ -66,6 +69,9 @@ step "mc_smoke (DPOR-lite schedule exploration + PSI-bug regression, golden diff
 
 step "trace_smoke (causal tracing: exact attribution, span trees, chrome export, golden diff)" \
     cargo run -q --release -p gdur-bench --bin trace_smoke
+
+step "mega_smoke (aggregated client pools @ 10k clients/site, golden diff)" \
+    cargo run -q --release -p gdur-bench --bin mega_smoke
 
 # Wall-clock regression gate against the blessed reference in
 # BENCH_sim.json. Skippable because wall-clock is only meaningful on an

@@ -132,6 +132,9 @@ fn build_cluster(cfg: &McConfig) -> Cluster {
         vote_timeout: None,
         max_read_attempts: None,
         client_op_timeout: None,
+        client_pooling: false,
+        client_think_time: None,
+        record_txn_metrics: true,
         seed: cfg.seed,
         bug_unreserved_commit_clocks: cfg.reintroduce_psi_bug,
     };

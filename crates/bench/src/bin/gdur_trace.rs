@@ -42,6 +42,7 @@ fn scale(clients: usize) -> Scale {
         client_sweep: vec![clients],
         cores: 4,
         seed: 7,
+        client_pooling: false,
     }
 }
 

@@ -27,6 +27,7 @@ fn smoke_scale() -> Scale {
         client_sweep: vec![2, 24],
         cores: 4,
         seed: 7,
+        client_pooling: false,
     }
 }
 

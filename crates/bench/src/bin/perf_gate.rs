@@ -17,14 +17,21 @@
 //! bit-identity check: a mismatch against `blessed` means behaviour
 //! changed, not just speed.
 //!
+//! `--mega` runs the aggregated-pool scale sweep instead (10⁴/10⁵/10⁶
+//! clients per site, one pool actor per site) and writes `BENCH_mega.json`.
+//! It is informational — no regression gate — and deliberately not part of
+//! ci.sh: the bounded 10⁴ rung runs there as `mega_smoke`.
+//!
 //! Usage: `cargo run --release -p gdur-bench --bin perf_gate
-//! [--check] [--bless] [--capture-baseline]`
+//! [--check] [--bless] [--capture-baseline] [--mega]`
 
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::time::Instant;
 
-use gdur_harness::{run_point_events, Experiment, PlacementKind, Scale, WorkloadKind};
+use gdur_harness::{
+    run_mega_point, run_point_events, Experiment, MegaConfig, PlacementKind, Scale, WorkloadKind,
+};
 use gdur_sim::SimDuration;
 
 /// Allowed wall-clock regression against the blessed reference.
@@ -42,6 +49,7 @@ fn perf_scale() -> Scale {
         client_sweep: vec![16, 64, 192],
         cores: 4,
         seed: 11,
+        client_pooling: false,
     }
 }
 
@@ -177,11 +185,79 @@ fn bench_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sim.json")
 }
 
+/// Peak resident set size of this process in MiB, from Linux's
+/// `/proc/self/status` `VmHWM` line; 0 where unavailable. Monotone over the
+/// process lifetime, so per-point readings report the high-water mark *so
+/// far* — the sweep runs smallest point first, making the last reading the
+/// figure that matters.
+fn vm_hwm_mib() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse::<u64>().ok())
+        .map(|kb| kb / 1024)
+        .unwrap_or(0)
+}
+
+/// The `--mega` mode: the ROADMAP "millions of users" axis. One pooled
+/// point per rung of the client sweep, whole-run aggregates, peak-RSS
+/// tracking; writes `BENCH_mega.json` at the workspace root.
+fn run_mega_sweep() {
+    const RUNGS: [usize; 3] = [10_000, 100_000, 1_000_000];
+    let exp = perf_experiment();
+    let mut sections = Vec::new();
+    for &cps in &RUNGS {
+        let cfg = MegaConfig::standard(cps, 11);
+        let start = Instant::now();
+        let r = run_mega_point(&exp, &cfg);
+        let wall_s = start.elapsed().as_secs_f64();
+        let events_per_sec = r.events as f64 / wall_s;
+        let vm_hwm_mib = vm_hwm_mib();
+        println!(
+            "perf_gate --mega: {cps:>7} clients/site: {} issued, {} committed, \
+             {} aborted ({} timeout) | {} events in {wall_s:.1}s \
+             ({events_per_sec:.0} events/s) | peak RSS {vm_hwm_mib} MiB",
+            r.issued, r.committed, r.aborted, r.timeout_aborts, r.events
+        );
+        sections.push(format!(
+            "    {{\"clients_per_site\": {cps}, \"clients_total\": {}, \"issued\": {}, \
+             \"committed\": {}, \"aborted\": {}, \"timeout_aborts\": {}, \
+             \"throughput_tps\": {:.1}, \"avg_latency_ms\": {:.3}, \"events\": {}, \
+             \"wall_s\": {wall_s:.3}, \"events_per_sec\": {events_per_sec:.0}, \
+             \"vm_hwm_mib\": {vm_hwm_mib}}}",
+            r.clients_total,
+            r.issued,
+            r.committed,
+            r.aborted,
+            r.timeout_aborts,
+            r.throughput_tps,
+            r.avg_latency_ms,
+            r.events
+        ));
+    }
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_mega.json");
+    let file = format!(
+        "{{\n  \"schema\": \"gdur-mega-sweep-v1\",\n  \"bench\": \"p_store / workload C / 3 sites DP / pooled clients, 1s think, 4s horizon\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        sections.join(",\n")
+    );
+    std::fs::write(&path, &file).expect("write BENCH_mega.json");
+    println!("perf_gate --mega: written to {}", path.display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let check = args.iter().any(|a| a == "--check");
     let bless = args.iter().any(|a| a == "--bless");
     let capture_baseline = args.iter().any(|a| a == "--capture-baseline");
+
+    if args.iter().any(|a| a == "--mega") {
+        run_mega_sweep();
+        return;
+    }
 
     let current = run_sweep_timed("current");
     let path = bench_path();

@@ -91,6 +91,7 @@ fn main() {
         client_sweep: vec![clients],
         cores: 4,
         seed: 7,
+        client_pooling: false,
     };
     let exp = Experiment::new(spec, WorkloadKind::A, 0.9, 3, PlacementKind::Dp);
     let (point, breakdown, mut events) = run_point_traced(&exp, &scale, clients);

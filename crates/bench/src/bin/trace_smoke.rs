@@ -42,6 +42,7 @@ fn smoke_scale() -> Scale {
         client_sweep: vec![4],
         cores: 4,
         seed: 7,
+        client_pooling: false,
     }
 }
 

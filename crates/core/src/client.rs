@@ -1,5 +1,11 @@
 //! Closed-loop client actor: plays transaction plans against its
 //! coordinator replica and records per-transaction latency metrics.
+//!
+//! The per-client state machine lives in [`ClientSlot`] so it can be
+//! driven two ways: one [`Client`] actor per client (the reference
+//! configuration, one mailbox and kernel timer set per client), or many
+//! slots packed into one aggregated [`crate::ClientPool`] actor (the
+//! scale configuration, state arrays and a shared timer wheel).
 
 use gdur_obs::AbortCause;
 use gdur_sim::{Context, ProcessId, SimDuration, SimTime};
@@ -42,6 +48,123 @@ impl TxnRecord {
     }
 }
 
+/// The transaction a slot currently has in flight.
+pub(crate) struct InFlight {
+    pub(crate) tx: TxId,
+    pub(crate) plan: TxnPlan,
+    pub(crate) next_op: usize,
+    pub(crate) started_at: SimTime,
+    pub(crate) submitted_at: SimTime,
+    pub(crate) read_only: bool,
+    /// Outstanding per-operation timeout: (tag, kernel timer id) — used
+    /// by the one-actor [`Client`] only.
+    pub(crate) timer: Option<(u64, u64)>,
+    /// Armed op-timeout deadline in the owning pool's timer wheel — used
+    /// by [`crate::ClientPool`] only (the wheel needs the exact instant
+    /// back for O(log n) cancellation).
+    pub(crate) wheel_deadline: Option<SimTime>,
+}
+
+/// One logical closed-loop client: its workload source, private RNG, and
+/// in-flight transaction. Everything here is per-client *state*; who sends
+/// the messages and arms the timers (a dedicated actor or a pool) is the
+/// owner's concern.
+pub(crate) struct ClientSlot {
+    pub(crate) source: Box<dyn TxSource + Send>,
+    pub(crate) rng: SmallRng,
+    pub(crate) issued: u64,
+    pub(crate) next_seq: u64,
+    pub(crate) current: Option<InFlight>,
+}
+
+impl ClientSlot {
+    pub(crate) fn new(source: Box<dyn TxSource + Send>, seed: u64) -> Self {
+        ClientSlot {
+            source,
+            rng: SmallRng::seed_from_u64(seed),
+            issued: 0,
+            next_seq: 0,
+            current: None,
+        }
+    }
+
+    /// True once the slot has issued its full budget.
+    pub(crate) fn exhausted(&self, max_txns: Option<u64>) -> bool {
+        matches!(max_txns, Some(max) if self.issued >= max)
+    }
+
+    /// Opens the next transaction: bumps the sequence, maps it to a
+    /// [`TxId`] via `mk_tx` (per-client actors use their own pid, pools
+    /// encode the client index), draws the plan, and installs it as the
+    /// in-flight transaction. Returns the new id so the owner can send
+    /// `Begin`.
+    pub(crate) fn open(&mut self, now: SimTime, mk_tx: impl FnOnce(u64) -> TxId) -> TxId {
+        self.issued += 1;
+        self.next_seq += 1;
+        let tx = mk_tx(self.next_seq);
+        let plan = self.source.next_plan(&mut self.rng);
+        let read_only = plan.read_only();
+        self.current = Some(InFlight {
+            tx,
+            plan,
+            next_op: 0,
+            started_at: now,
+            submitted_at: now,
+            read_only,
+            timer: None,
+            wheel_deadline: None,
+        });
+        tx
+    }
+
+    /// The next operation to put on the wire — `Commit` once the plan is
+    /// drained (stamping `submitted_at`), a read/update otherwise.
+    pub(crate) fn next_wire_op(&mut self, now: SimTime, value_proto: &Value) -> ClientOp {
+        let r = self.current.as_mut().expect("a transaction is running");
+        if r.next_op == r.plan.ops.len() {
+            r.submitted_at = now;
+            return ClientOp::Commit;
+        }
+        let op = r.plan.ops[r.next_op].clone();
+        r.next_op += 1;
+        match op {
+            PlanOp::Read(key) => ClientOp::Read { key },
+            PlanOp::Update(key) => ClientOp::Update {
+                key,
+                value: value_proto.clone(),
+            },
+        }
+    }
+
+    /// Closes the in-flight transaction into a [`TxnRecord`].
+    pub(crate) fn finish(
+        &mut self,
+        decided_at: SimTime,
+        committed: bool,
+        cause: Option<AbortCause>,
+    ) -> TxnRecord {
+        let r = self.current.take().expect("a transaction is running");
+        TxnRecord {
+            tx: r.tx,
+            started_at: r.started_at,
+            submitted_at: r.submitted_at,
+            decided_at,
+            committed,
+            read_only: r.read_only,
+            cause,
+        }
+    }
+}
+
+impl std::fmt::Debug for ClientSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientSlot")
+            .field("issued", &self.issued)
+            .field("in_flight", &self.current.is_some())
+            .finish()
+    }
+}
+
 /// A closed-loop client bound to one coordinator replica.
 ///
 /// The client emulates one of the paper's client threads: it runs
@@ -50,9 +173,7 @@ impl TxnRecord {
 /// shared buffer so allocation cost stays out of the measurement.
 pub struct Client {
     coordinator: ProcessId,
-    source: Box<dyn TxSource + Send>,
     value_proto: Value,
-    rng: SmallRng,
     /// Stop issuing new transactions after this many (None = run forever,
     /// bounded by the simulation horizon).
     max_txns: Option<u64>,
@@ -61,29 +182,16 @@ pub struct Client {
     /// Keeps the closed loop alive when the coordinator crashes.
     op_timeout: Option<SimDuration>,
     next_timer_tag: u64,
-    issued: u64,
-    next_seq: u64,
     me: Option<ProcessId>,
-    current: Option<Running>,
+    slot: ClientSlot,
     records: Vec<TxnRecord>,
-}
-
-struct Running {
-    tx: TxId,
-    plan: TxnPlan,
-    next_op: usize,
-    started_at: SimTime,
-    submitted_at: SimTime,
-    read_only: bool,
-    /// Outstanding per-operation timeout: (tag, kernel timer id).
-    timer: Option<(u64, u64)>,
 }
 
 impl std::fmt::Debug for Client {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Client")
             .field("coordinator", &self.coordinator)
-            .field("issued", &self.issued)
+            .field("issued", &self.slot.issued)
             .field("records", &self.records.len())
             .finish()
     }
@@ -100,16 +208,12 @@ impl Client {
     ) -> Self {
         Client {
             coordinator,
-            source,
             value_proto: Value::of_size(value_size),
-            rng: SmallRng::seed_from_u64(seed),
             max_txns: None,
             op_timeout: None,
             next_timer_tag: 0,
-            issued: 0,
-            next_seq: 0,
             me: None,
-            current: None,
+            slot: ClientSlot::new(source, seed),
             records: Vec::new(),
         }
     }
@@ -129,7 +233,7 @@ impl Client {
 
     /// True if a transaction is currently mid-flight.
     pub fn in_flight(&self) -> bool {
-        self.current.is_some()
+        self.slot.current.is_some()
     }
 
     /// Finished-transaction records collected so far.
@@ -139,30 +243,15 @@ impl Client {
 
     /// Number of transactions issued.
     pub fn issued(&self) -> u64 {
-        self.issued
+        self.slot.issued
     }
 
     fn begin_next(&mut self, ctx: &mut Context<'_, Msg>) {
-        if let Some(max) = self.max_txns {
-            if self.issued >= max {
-                return;
-            }
+        if self.slot.exhausted(self.max_txns) {
+            return;
         }
-        self.issued += 1;
-        self.next_seq += 1;
         let me = self.me.expect("client started");
-        let tx = TxId::new(me.0, self.next_seq);
-        let plan = self.source.next_plan(&mut self.rng);
-        let read_only = plan.read_only();
-        self.current = Some(Running {
-            tx,
-            plan,
-            next_op: 0,
-            started_at: ctx.now(),
-            submitted_at: ctx.now(),
-            read_only,
-            timer: None,
-        });
+        let tx = self.slot.open(ctx.now(), |seq| TxId::new(me.0, seq));
         ctx.send(
             self.coordinator,
             Msg::Client {
@@ -180,41 +269,15 @@ impl Client {
         let tag = self.next_timer_tag;
         self.next_timer_tag += 1;
         let id = ctx.set_timer(t, tag);
-        if let Some(r) = self.current.as_mut() {
+        if let Some(r) = self.slot.current.as_mut() {
             r.timer = Some((tag, id));
         }
     }
 
     fn send_next_op(&mut self, ctx: &mut Context<'_, Msg>) {
-        let r = self.current.as_mut().expect("a transaction is running");
-        if r.next_op == r.plan.ops.len() {
-            r.submitted_at = ctx.now();
-            ctx.send(
-                self.coordinator,
-                Msg::Client {
-                    tx: r.tx,
-                    op: ClientOp::Commit,
-                },
-            );
-            self.arm_op_timer(ctx);
-            return;
-        }
-        let op = r.plan.ops[r.next_op].clone();
-        r.next_op += 1;
-        let wire_op = match op {
-            PlanOp::Read(key) => ClientOp::Read { key },
-            PlanOp::Update(key) => ClientOp::Update {
-                key,
-                value: self.value_proto.clone(),
-            },
-        };
-        ctx.send(
-            self.coordinator,
-            Msg::Client {
-                tx: r.tx,
-                op: wire_op,
-            },
-        );
+        let tx = self.slot.current.as_ref().expect("running").tx;
+        let op = self.slot.next_wire_op(ctx.now(), &self.value_proto);
+        ctx.send(self.coordinator, Msg::Client { tx, op });
         self.arm_op_timer(ctx);
     }
 
@@ -222,20 +285,17 @@ impl Client {
     /// partitioned away). Record the transaction as crash-aborted and move
     /// on, keeping the closed loop alive.
     pub fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
-        let armed = self.current.as_ref().and_then(|r| r.timer).map(|(t, _)| t);
+        let armed = self
+            .slot
+            .current
+            .as_ref()
+            .and_then(|r| r.timer)
+            .map(|(t, _)| t);
         if armed != Some(tag) {
             return;
         }
-        let r = self.current.take().expect("checked above");
-        self.records.push(TxnRecord {
-            tx: r.tx,
-            started_at: r.started_at,
-            submitted_at: r.submitted_at,
-            decided_at: ctx.now(),
-            committed: false,
-            read_only: r.read_only,
-            cause: Some(AbortCause::Crash),
-        });
+        let rec = self.slot.finish(ctx.now(), false, Some(AbortCause::Crash));
+        self.records.push(rec);
         self.begin_next(ctx);
     }
 }
@@ -252,13 +312,13 @@ impl gdur_sim::Actor for Client {
         let Msg::Reply { tx, reply } = msg else {
             return; // clients only understand replies
         };
-        let Some(r) = self.current.as_ref() else {
+        let Some(r) = self.slot.current.as_ref() else {
             return;
         };
         if r.tx != tx {
             return; // stale reply from a past transaction
         }
-        if let Some((_, id)) = self.current.as_mut().and_then(|r| r.timer.take()) {
+        if let Some((_, id)) = self.slot.current.as_mut().and_then(|r| r.timer.take()) {
             ctx.cancel_timer(id);
         }
         match reply {
@@ -266,16 +326,8 @@ impl gdur_sim::Actor for Client {
                 self.send_next_op(ctx);
             }
             ClientReply::Outcome { committed, cause } => {
-                let r = self.current.take().expect("checked above");
-                self.records.push(TxnRecord {
-                    tx: r.tx,
-                    started_at: r.started_at,
-                    submitted_at: r.submitted_at,
-                    decided_at: ctx.now(),
-                    committed,
-                    read_only: r.read_only,
-                    cause,
-                });
+                let rec = self.slot.finish(ctx.now(), committed, cause);
+                self.records.push(rec);
                 self.begin_next(ctx);
             }
         }

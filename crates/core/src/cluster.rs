@@ -12,6 +12,7 @@ use gdur_store::{Key, Placement, Value};
 
 use crate::client::{Client, TxnRecord};
 use crate::node::Node;
+use crate::pool::{ClientPool, PoolCounts};
 use crate::replica::{Replica, ReplicaConfig, ReplicaStats};
 use crate::spec::{CostModel, ProtocolSpec};
 use crate::txn::TxSource;
@@ -49,6 +50,20 @@ pub struct ClusterConfig {
     /// wait forever). Keeps closed-loop clients alive across coordinator
     /// crashes in fault-injection runs.
     pub client_op_timeout: Option<SimDuration>,
+    /// Aggregate each site's clients into one [`crate::ClientPool`] actor
+    /// instead of one actor per client. Off by default: per-client actors
+    /// remain the reference configuration (and the one all goldens are
+    /// blessed against); pools are the opt-in scale axis for sweeps beyond
+    /// ~10³ clients per site.
+    pub client_pooling: bool,
+    /// Closed-loop think time between transactions (pooled clients only;
+    /// also staggers initial begins across one interval). `None` =
+    /// back-to-back, matching per-client actors.
+    pub client_think_time: Option<SimDuration>,
+    /// Collect per-transaction [`TxnRecord`]s (on by default). Mega-scale
+    /// pooled sweeps turn this off and read aggregate pool counts instead,
+    /// so memory stays bounded by client state, not by transaction count.
+    pub record_txn_metrics: bool,
     /// RNG seed for the whole deployment.
     pub seed: u64,
     /// **Model-checker regression knob — never set in real runs.** Plumbed
@@ -77,6 +92,9 @@ impl ClusterConfig {
             vote_timeout: None,
             max_read_attempts: None,
             client_op_timeout: None,
+            client_pooling: false,
+            client_think_time: None,
+            record_txn_metrics: true,
             seed: 42,
             bug_unreserved_commit_clocks: false,
         }
@@ -100,17 +118,37 @@ impl Cluster {
     ) -> Cluster {
         let sites = cfg.placement.sites();
         assert!(sites >= 1, "need at least one site");
+        assert!(
+            sites <= u16::MAX as usize,
+            "{sites} sites overflow the u16 SiteId space"
+        );
+        if cfg.client_pooling {
+            assert!(
+                cfg.clients_per_site <= gdur_obs::MAX_POOL_CLIENTS as usize,
+                "clients_per_site={} exceeds the per-pool maximum of {} \
+                 (20-bit pooled client-index space)",
+                cfg.clients_per_site,
+                gdur_obs::MAX_POOL_CLIENTS
+            );
+        }
         // Fail fast on a misassembled protocol: every deployment, whether
         // built by the harness, a test, or an example, passes the static
         // spec linter before a single message is simulated.
         cfg.spec.validate_strict(&cfg.placement);
         let mut topo = Topology::grid5000(sites);
-        // Replicas first (pids 0..sites), then clients.
+        // Replicas first (pids 0..sites), then clients — one topology slot
+        // per client actor, or one per site when pooling (the pool is the
+        // site's single client process).
         for s in 0..sites {
             topo.place(SiteId(s as u16));
         }
         for s in 0..sites {
-            for _ in 0..cfg.clients_per_site {
+            let slots = if cfg.client_pooling {
+                1
+            } else {
+                cfg.clients_per_site
+            };
+            for _ in 0..slots {
                 topo.place(SiteId(s as u16));
             }
         }
@@ -166,22 +204,45 @@ impl Cluster {
         let mut client_idx = 0usize;
         for (s, &coordinator) in replica_pids.iter().enumerate() {
             let site = SiteId(s as u16);
-            for _ in 0..cfg.clients_per_site {
-                let source = make_source(client_idx, site);
-                let mut client = Client::new(
-                    coordinator,
-                    source,
-                    cfg.value_size,
-                    cfg.seed ^ (0x9e37_79b9 + client_idx as u64),
-                );
+            if cfg.client_pooling {
+                // One aggregated actor per site; each slot keeps the exact
+                // per-client seed formula so pooled and per-client runs
+                // draw identical workload streams.
+                let mut pool = ClientPool::new(coordinator, cfg.value_size)
+                    .with_txn_records(cfg.record_txn_metrics);
                 if let Some(max) = cfg.max_txns_per_client {
-                    client = client.with_max_txns(max);
+                    pool = pool.with_max_txns(max);
                 }
                 if let Some(t) = cfg.client_op_timeout {
-                    client = client.with_op_timeout(t);
+                    pool = pool.with_op_timeout(t);
                 }
-                client_pids.push(sim.spawn(Node::Client(client), Cores::Unlimited));
-                client_idx += 1;
+                if let Some(t) = cfg.client_think_time {
+                    pool = pool.with_think_time(t);
+                }
+                for _ in 0..cfg.clients_per_site {
+                    let source = make_source(client_idx, site);
+                    pool.add_client(source, cfg.seed ^ (0x9e37_79b9 + client_idx as u64));
+                    client_idx += 1;
+                }
+                client_pids.push(sim.spawn(Node::Pool(pool), Cores::Unlimited));
+            } else {
+                for _ in 0..cfg.clients_per_site {
+                    let source = make_source(client_idx, site);
+                    let mut client = Client::new(
+                        coordinator,
+                        source,
+                        cfg.value_size,
+                        cfg.seed ^ (0x9e37_79b9 + client_idx as u64),
+                    );
+                    if let Some(max) = cfg.max_txns_per_client {
+                        client = client.with_max_txns(max);
+                    }
+                    if let Some(t) = cfg.client_op_timeout {
+                        client = client.with_op_timeout(t);
+                    }
+                    client_pids.push(sim.spawn(Node::Client(client), Cores::Unlimited));
+                    client_idx += 1;
+                }
             }
         }
 
@@ -259,15 +320,49 @@ impl Cluster {
             .expect("replica pid")
     }
 
-    /// All finished-transaction records across clients.
+    /// All finished-transaction records across clients — per-client actors
+    /// and pooled clients alike (empty for pools built with
+    /// `record_txn_metrics: false`).
     pub fn records(&self) -> Vec<TxnRecord> {
         let mut out = Vec::new();
         for pid in &self.client_pids {
-            if let Some(c) = self.sim.actor(*pid).as_client() {
+            let node = self.sim.actor(*pid);
+            if let Some(c) = node.as_client() {
                 out.extend_from_slice(c.records());
+            } else if let Some(p) = node.as_pool() {
+                out.extend_from_slice(p.records());
             }
         }
         out
+    }
+
+    /// The client pool at `site`, if the deployment was built with
+    /// `client_pooling`.
+    pub fn pool(&self, site: SiteId) -> Option<&ClientPool> {
+        self.client_pids
+            .get(site.index())
+            .and_then(|pid| self.sim.actor(*pid).as_pool())
+    }
+
+    /// Summed aggregate pool counters across sites (all zeros when the
+    /// deployment uses per-client actors).
+    pub fn pool_counts(&self) -> PoolCounts {
+        let mut total = PoolCounts::default();
+        for pid in &self.client_pids {
+            if let Some(p) = self.sim.actor(*pid).as_pool() {
+                let c = p.counts();
+                total.issued += c.issued;
+                total.committed += c.committed;
+                total.aborted += c.aborted;
+                for (t, v) in total.aborted_by_cause.iter_mut().zip(c.aborted_by_cause) {
+                    *t += v;
+                }
+                total.total_latency_nanos = total
+                    .total_latency_nanos
+                    .saturating_add(c.total_latency_nanos);
+            }
+        }
+        total
     }
 
     /// Summed replica statistics.

@@ -25,6 +25,7 @@ mod cluster;
 mod lint;
 mod messages;
 mod node;
+mod pool;
 mod replica;
 mod spec;
 mod txn;
@@ -35,6 +36,7 @@ pub use gdur_obs::AbortCause;
 pub use lint::{Diagnostic, Severity};
 pub use messages::{ClientOp, ClientReply, Msg, TermPayload};
 pub use node::Node;
+pub use pool::{ClientPool, PoolCounts};
 pub use replica::{InstallEvent, Replica, ReplicaConfig, ReplicaStats, TxnOutcomeRecord};
 pub use spec::{
     CertifyRule, CertifyingObjRule, ChooseRule, CommitmentKind, CommuteRule, CostModel, Criterion,

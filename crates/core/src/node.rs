@@ -5,10 +5,11 @@ use gdur_sim::{Actor, Context, ProcessId};
 
 use crate::client::Client;
 use crate::messages::Msg;
+use crate::pool::ClientPool;
 use crate::replica::Replica;
 
-/// One process of the deployment: either a G-DUR replica or a load-driving
-/// client.
+/// One process of the deployment: a G-DUR replica, a load-driving client,
+/// or an aggregated pool of clients.
 // A deployment holds one Node per process (a handful), so the replica
 // variant's size is irrelevant and boxing would only cost indirection.
 #[allow(clippy::large_enum_variant)]
@@ -18,6 +19,8 @@ pub enum Node {
     Replica(Replica),
     /// A closed-loop client.
     Client(Client),
+    /// A whole site's client population in one actor.
+    Pool(ClientPool),
 }
 
 impl Node {
@@ -25,7 +28,7 @@ impl Node {
     pub fn as_replica(&self) -> Option<&Replica> {
         match self {
             Node::Replica(r) => Some(r),
-            Node::Client(_) => None,
+            Node::Client(_) | Node::Pool(_) => None,
         }
     }
 
@@ -33,7 +36,15 @@ impl Node {
     pub fn as_client(&self) -> Option<&Client> {
         match self {
             Node::Client(c) => Some(c),
-            Node::Replica(_) => None,
+            Node::Replica(_) | Node::Pool(_) => None,
+        }
+    }
+
+    /// The client pool inside, if this node is one.
+    pub fn as_pool(&self) -> Option<&ClientPool> {
+        match self {
+            Node::Pool(p) => Some(p),
+            Node::Replica(_) | Node::Client(_) => None,
         }
     }
 }
@@ -45,6 +56,7 @@ impl Actor for Node {
         match self {
             Node::Replica(_) => {}
             Node::Client(c) => c.on_start(ctx),
+            Node::Pool(p) => p.on_start(ctx),
         }
     }
 
@@ -52,6 +64,7 @@ impl Actor for Node {
         match self {
             Node::Replica(r) => r.handle(ctx, from, msg),
             Node::Client(c) => c.on_message(ctx, from, msg),
+            Node::Pool(p) => p.on_message(ctx, from, msg),
         }
     }
 
@@ -59,6 +72,7 @@ impl Actor for Node {
         match self {
             Node::Replica(r) => r.on_timer(ctx, tag),
             Node::Client(c) => c.on_timer(ctx, tag),
+            Node::Pool(p) => p.on_timer(ctx, tag),
         }
     }
 
@@ -68,6 +82,7 @@ impl Actor for Node {
             // A restarted client has nothing durable: it simply resumes
             // issuing fresh transactions from its next sequence number.
             Node::Client(c) => c.on_start(ctx),
+            Node::Pool(p) => p.on_restart(ctx),
         }
     }
 }

@@ -196,6 +196,10 @@ pub struct ChaosConfig {
     pub keys_per_partition: u64,
     /// Deployment seed.
     pub seed: u64,
+    /// Drive the load through one aggregated pool actor per site instead
+    /// of per-client actors (the scale configuration; see
+    /// `ClusterConfig::client_pooling`).
+    pub client_pooling: bool,
 }
 
 impl ChaosConfig {
@@ -210,6 +214,7 @@ impl ChaosConfig {
             txns_per_client: 30,
             keys_per_partition: 200,
             seed: 7,
+            client_pooling: false,
         }
     }
 }
@@ -334,6 +339,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> (ChaosReport, Vec<ObsEvent>) {
         vote_timeout: Some(SimDuration::from_millis(500)),
         max_read_attempts: Some(6),
         client_op_timeout: Some(SimDuration::from_secs(2)),
+        client_pooling: cfg.client_pooling,
+        client_think_time: None,
+        record_txn_metrics: true,
         seed: cfg.seed,
         bug_unreserved_commit_clocks: false,
     };
@@ -398,21 +406,30 @@ pub fn run_chaos(cfg: &ChaosConfig) -> (ChaosReport, Vec<ObsEvent>) {
     let records = cluster.records();
     let committed = records.iter().filter(|r| r.committed).count() as u64;
     let aborted = records.len() as u64 - committed;
-    // Transaction ids carry the *client* pid as their coordinator field;
-    // clients are spawned site by site after the replicas, so the clients
-    // driving a restarted site's replica are a contiguous pid block.
+    // Transaction ids carry the *client-side* pid as their coordinator
+    // field. With per-client actors, the clients driving a restarted
+    // site's replica are a contiguous pid block (clients are spawned site
+    // by site after the replicas); with pooling, the site's single pool
+    // pid covers them all.
     let client_pids = cluster.client_pids().to_vec();
-    let restarted: Vec<u32> = cfg
-        .schedule
-        .restarted_sites()
-        .iter()
-        .flat_map(|s| {
-            let base = s.index() * cfg.clients_per_site;
-            client_pids[base..base + cfg.clients_per_site]
-                .iter()
-                .map(|p| p.0)
-        })
-        .collect();
+    let restarted: Vec<u32> = if cfg.client_pooling {
+        cfg.schedule
+            .restarted_sites()
+            .iter()
+            .map(|s| client_pids[s.index()].0)
+            .collect()
+    } else {
+        cfg.schedule
+            .restarted_sites()
+            .iter()
+            .flat_map(|s| {
+                let base = s.index() * cfg.clients_per_site;
+                client_pids[base..base + cfg.clients_per_site]
+                    .iter()
+                    .map(|p| p.0)
+            })
+            .collect()
+    };
     let post_restart_commits = match cfg.schedule.last_restart() {
         Some(at) => records
             .iter()

@@ -28,8 +28,9 @@ pub use fault::{
 pub use invariants::check_invariants;
 
 pub use experiment::{
-    max_throughput, run_point, run_point_causal, run_point_events, run_point_traced, run_sweep,
-    CausalRun, Experiment, PlacementKind, PointResult, Scale, WorkloadKind,
+    max_throughput, run_mega_point, run_point, run_point_causal, run_point_events,
+    run_point_traced, run_sweep, CausalRun, Experiment, MegaConfig, MegaPointResult, PlacementKind,
+    PointResult, Scale, WorkloadKind,
 };
 pub use figures::{
     all_figures, fig3a, fig3b, fig4, fig5, fig6a, fig6b, Figure, FigurePanel, Metric,

@@ -16,6 +16,7 @@ fn scale() -> Scale {
         client_sweep: vec![2, 24],
         cores: 4,
         seed: 7,
+        client_pooling: false,
     }
 }
 

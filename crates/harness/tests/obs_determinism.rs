@@ -18,6 +18,7 @@ fn tiny_scale() -> Scale {
         client_sweep: vec![2],
         cores: 4,
         seed: 11,
+        client_pooling: false,
     }
 }
 

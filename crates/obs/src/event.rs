@@ -130,6 +130,57 @@ pub fn tx_parts(code: u64) -> (u32, u64) {
     ((code >> 40) as u32, code & 0xff_ffff_ffff)
 }
 
+/// Bits of a pooled transaction sequence spent on the per-client local
+/// counter; the remaining high bits of the 40-bit [`tx_code`] sequence
+/// budget carry the client's index inside its pool.
+pub const POOL_LOCAL_SEQ_BITS: u32 = 20;
+
+/// Maximum clients one aggregated pool actor can address: the pool's
+/// client index and each client's local sequence split the 40-bit
+/// [`tx_code`] sequence budget 20/20, so a pool spans up to 2^20
+/// (1,048,576) clients, each issuing up to 2^20 transactions, without any
+/// trace-event collision.
+pub const MAX_POOL_CLIENTS: u32 = 1 << POOL_LOCAL_SEQ_BITS;
+
+/// Maximum transactions one pooled client can issue (its local sequence
+/// starts at 1, so the all-zero low bits never collide with anything).
+pub const MAX_POOL_LOCAL_SEQ: u64 = (1 << POOL_LOCAL_SEQ_BITS) - 1;
+
+/// Packs a pooled client's `(index, local sequence)` into the sequence of
+/// its transaction id: `(client << 20) | local_seq`.
+///
+/// The client index occupies the *high* bits on purpose: transaction ids
+/// then order client-major, exactly as per-client actors order pid-major,
+/// so any tie-break that compares transaction ids behaves identically in
+/// pooled and per-client deployments.
+///
+/// # Panics
+///
+/// Panics — an explicit bounds error, never a silent truncation — if
+/// `client >= MAX_POOL_CLIENTS` or `local_seq` is 0 or exceeds
+/// [`MAX_POOL_LOCAL_SEQ`].
+pub fn pool_seq(client: u32, local_seq: u64) -> u64 {
+    assert!(
+        client < MAX_POOL_CLIENTS,
+        "pool client index {client} out of range (max {MAX_POOL_CLIENTS} clients per pool)"
+    );
+    assert!(
+        (1..=MAX_POOL_LOCAL_SEQ).contains(&local_seq),
+        "pooled client {client} exhausted its per-client sequence space \
+         (local_seq={local_seq}, max {MAX_POOL_LOCAL_SEQ})"
+    );
+    ((client as u64) << POOL_LOCAL_SEQ_BITS) | local_seq
+}
+
+/// Inverse of [`pool_seq`]: splits a pooled transaction sequence back into
+/// `(client index, local sequence)`.
+pub fn pool_seq_parts(seq: u64) -> (u32, u64) {
+    (
+        (seq >> POOL_LOCAL_SEQ_BITS) as u32,
+        seq & MAX_POOL_LOCAL_SEQ,
+    )
+}
+
 /// Packs the payload of a [`labels::TXN_VOTE`] event: bit 0 is the verdict
 /// (1 = yes), the upper bits are the voting process id — enough for trace
 /// consumers to identify which replica's vote closed (or straggled behind)
@@ -226,6 +277,37 @@ mod tests {
         assert_ne!(tx_code(1, 5), tx_code(2, 5));
         assert_ne!(tx_code(1, 5), tx_code(1, 6));
         assert_eq!(tx_code(3, 9), tx_code(3, 9));
+    }
+
+    #[test]
+    fn pool_seq_roundtrips_across_the_full_index_space() {
+        for client in [0, 1, 999_999, MAX_POOL_CLIENTS - 1] {
+            for local in [1, 2, MAX_POOL_LOCAL_SEQ] {
+                assert_eq!(pool_seq_parts(pool_seq(client, local)), (client, local));
+            }
+        }
+    }
+
+    #[test]
+    fn pool_seq_fits_the_tx_code_budget_without_collisions() {
+        // The widest pooled sequence still round-trips through tx_code:
+        // no pooled transaction can alias another coordinator's events.
+        let widest = pool_seq(MAX_POOL_CLIENTS - 1, MAX_POOL_LOCAL_SEQ);
+        assert_eq!(tx_parts(tx_code(7, widest)), (7, widest));
+        // Client-major ordering: ids order like per-client actor pids do.
+        assert!(pool_seq(1, MAX_POOL_LOCAL_SEQ) < pool_seq(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pool_seq_rejects_out_of_range_client_index() {
+        let _ = pool_seq(MAX_POOL_CLIENTS, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted its per-client sequence space")]
+    fn pool_seq_rejects_exhausted_local_sequence() {
+        let _ = pool_seq(0, MAX_POOL_LOCAL_SEQ + 1);
     }
 
     #[test]

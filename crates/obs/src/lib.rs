@@ -54,7 +54,10 @@ pub use attrib::{
 };
 pub use breakdown::{MsgFlow, Phase, PhaseBreakdown};
 pub use chrome::{export_chrome, validate_json};
-pub use event::{labels, tx_code, tx_parts, vote_parts, vote_value, AbortCause, TraceHandle};
+pub use event::{
+    labels, pool_seq, pool_seq_parts, tx_code, tx_parts, vote_parts, vote_value, AbortCause,
+    TraceHandle, MAX_POOL_CLIENTS, MAX_POOL_LOCAL_SEQ, POOL_LOCAL_SEQ_BITS,
+};
 pub use gdur_sim::{ObsEvent, ObsSink};
 pub use hist::Histogram;
 pub use metrics::MetricsRegistry;

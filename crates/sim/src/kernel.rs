@@ -365,8 +365,13 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
     ///
     /// # Panics
     ///
-    /// Panics if called after the simulation has started, or with
-    /// `Cores::Fixed(0)`.
+    /// Panics if called after the simulation has started, with
+    /// `Cores::Fixed(0)`, or if the actor table would overflow the `u32`
+    /// [`ProcessId`] space. The last case is a checked registration, not a
+    /// silent wrap: past `u32::MAX` actors the old `len() as u32` cast
+    /// would have aliased process ids and misrouted every message. Scale
+    /// beyond that belongs to aggregated actors (e.g. client pools), not
+    /// to more process ids.
     pub fn spawn(&mut self, actor: A, cores: Cores) -> ProcessId {
         assert!(!self.started, "cannot spawn after the simulation started");
         let (core_free, unlimited) = match cores {
@@ -376,7 +381,13 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
             }
             Cores::Unlimited => (Vec::new(), true),
         };
-        let id = ProcessId(self.actors.len() as u32);
+        let id = ProcessId(u32::try_from(self.actors.len()).unwrap_or_else(|_| {
+            panic!(
+                "actor table overflows the u32 ProcessId space ({} actors); \
+                 aggregate entities into pooled actors instead of spawning more",
+                self.actors.len()
+            )
+        }));
         self.actors.push(ActorSlot {
             actor,
             core_free,
@@ -431,6 +442,8 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
         self.actors
             .iter()
             .enumerate()
+            // In-range by construction: spawn() checked the table size
+            // against the u32 ProcessId space at registration.
             .map(|(i, s)| (ProcessId(i as u32), &s.actor))
     }
 
@@ -566,6 +579,7 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
         }
         self.started = true;
         for i in 0..self.actors.len() {
+            // In-range by construction: spawn() checked the table size.
             self.push(
                 SimTime::ZERO,
                 EventKind::Arrival(ProcessId(i as u32), Job::Start),

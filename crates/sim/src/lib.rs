@@ -64,6 +64,7 @@ mod kernel;
 mod obs;
 mod sched;
 mod time;
+mod wheel;
 
 pub use actor::{Actor, ProcessId, WireSize};
 pub use kernel::{
@@ -73,3 +74,4 @@ pub use kernel::{
 pub use obs::{trigger, ObsEvent, ObsSink, KERNEL_DELIVER, KERNEL_HANDLE_END, KERNEL_HANDLE_START};
 pub use sched::{Candidate, CandidateKind, FifoScheduler, Scheduler};
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimerWheel;

@@ -1,0 +1,171 @@
+//! A deterministic timer wheel keyed by virtual time.
+//!
+//! Aggregated actors (one actor modeling many logical entities, e.g. a
+//! client pool) cannot afford one kernel timer per entity: a million
+//! closed-loop clients would mean a million heap entries and a million
+//! timer arrivals per timeout interval. [`TimerWheel`] is the actor-local
+//! alternative: deadlines live in an ordered set inside the actor, the
+//! actor arms at most **one** kernel timer (for the earliest deadline),
+//! and on each fire it pops everything that has come due.
+//!
+//! Determinism: the wheel is a [`BTreeSet`] ordered by `(deadline, item)`,
+//! so iteration order — and therefore the order due entries are handled
+//! in — is a pure function of the inserted set, independent of insertion
+//! order. No randomness, no host time, no hashing.
+//!
+//! The wheel does not talk to the kernel itself; the owning actor decides
+//! when to (re-)arm its single kernel timer from [`TimerWheel::next_deadline`].
+//! The cheap policy (used by `gdur-core`'s client pool) is:
+//!
+//! * on insert: arm only if the new deadline is *earlier* than the armed
+//!   instant;
+//! * on remove: do nothing — let the armed timer fire stale, pop nothing,
+//!   and re-arm at the then-earliest deadline. This bounds kernel timer
+//!   traffic to roughly one arrival per timeout interval instead of one
+//!   per removal.
+
+use std::collections::BTreeSet;
+
+use crate::time::SimTime;
+
+/// An ordered multimap of virtual-time deadlines to `T` entries, with
+/// deterministic `(deadline, item)` ordering.
+///
+/// `T` must be `Ord`; equal `(deadline, item)` pairs coalesce (inserting
+/// the same entry at the same instant twice is a no-op), which is the
+/// behaviour an actor wants for idempotent re-arms.
+#[derive(Debug, Clone, Default)]
+pub struct TimerWheel<T: Ord> {
+    entries: BTreeSet<(SimTime, T)>,
+}
+
+impl<T: Ord> TimerWheel<T> {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        TimerWheel {
+            entries: BTreeSet::new(),
+        }
+    }
+
+    /// Arms `item` to come due at `at`. Returns `false` if the identical
+    /// `(at, item)` entry was already armed.
+    pub fn insert(&mut self, at: SimTime, item: T) -> bool {
+        self.entries.insert((at, item))
+    }
+
+    /// Disarms the exact `(at, item)` entry. Returns `true` if it was
+    /// armed. Callers keep the deadline they armed with (it is part of
+    /// their per-entity state), so cancellation is an exact O(log n)
+    /// removal, never a scan.
+    pub fn remove(&mut self, at: SimTime, item: &T) -> bool
+    where
+        T: Clone,
+    {
+        // BTreeSet::remove needs the full key; (SimTime, T) is cheap to
+        // reconstruct for the Ord lookup.
+        self.entries.remove(&(at, item.clone()))
+    }
+
+    /// The earliest armed deadline, if any — what the owning actor's
+    /// single kernel timer should target.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.entries.iter().next().map(|(at, _)| *at)
+    }
+
+    /// Pops every entry with deadline `<= now`, in `(deadline, item)`
+    /// order, appending them to `due`. Using an out-param lets the caller
+    /// reuse one scratch buffer across fires instead of allocating per
+    /// timer arrival.
+    pub fn pop_due(&mut self, now: SimTime, due: &mut Vec<(SimTime, T)>) {
+        while let Some(first) = self.entries.first() {
+            if first.0 > now {
+                break;
+            }
+            due.push(self.entries.pop_first().expect("peeked above"));
+        }
+    }
+
+    /// Number of armed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Disarms everything (e.g. on an actor restart: volatile deadlines
+    /// do not survive a crash).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_deadline_then_item_order() {
+        let mut w = TimerWheel::new();
+        w.insert(t(30), 7u32);
+        w.insert(t(10), 9);
+        w.insert(t(10), 2);
+        w.insert(t(20), 1);
+        assert_eq!(w.next_deadline(), Some(t(10)));
+        let mut due = Vec::new();
+        w.pop_due(t(20), &mut due);
+        assert_eq!(due, vec![(t(10), 2), (t(10), 9), (t(20), 1)]);
+        assert_eq!(w.next_deadline(), Some(t(30)));
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn exact_removal_only() {
+        let mut w = TimerWheel::new();
+        w.insert(t(10), 1u32);
+        w.insert(t(20), 1);
+        assert!(!w.remove(t(15), &1), "wrong deadline must not remove");
+        assert!(w.remove(t(20), &1));
+        assert_eq!(w.len(), 1);
+        let mut due = Vec::new();
+        w.pop_due(t(100), &mut due);
+        assert_eq!(due, vec![(t(10), 1)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_coalesces() {
+        let mut w = TimerWheel::new();
+        assert!(w.insert(t(10), 5u32));
+        assert!(!w.insert(t(10), 5));
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn clear_disarms_everything() {
+        let mut w = TimerWheel::new();
+        w.insert(t(10), 1u32);
+        w.insert(t(20), 2);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn pop_due_reuses_buffer_without_clearing() {
+        let mut w = TimerWheel::new();
+        w.insert(t(10), 1u32);
+        w.insert(t(20), 2);
+        let mut due = Vec::new();
+        w.pop_due(t(10), &mut due);
+        w.pop_due(t(20), &mut due);
+        assert_eq!(due, vec![(t(10), 1), (t(20), 2)]);
+    }
+}

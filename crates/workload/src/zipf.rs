@@ -47,7 +47,16 @@ impl Zipfian {
         let zetan = zeta(n, theta);
         let zeta2 = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
-        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        // Gray's eta is 0/0 at n == 2 (zetan == zeta2) and meaningless at
+        // n == 1. Both keyspaces resolve entirely through the exact rank-0/
+        // rank-1 branches of `sample` (uz never exceeds rank1_bound), so the
+        // power-curve tail is unreachable — but a NaN here would poison any
+        // future use. Pin eta to 0 for the degenerate sizes.
+        let eta = if n <= 2 {
+            0.0
+        } else {
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan)
+        };
         Zipfian {
             n,
             alpha,
@@ -159,6 +168,55 @@ mod tests {
     #[should_panic(expected = "empty keyspace")]
     fn zero_items_rejected() {
         let _ = Zipfian::new(0, DEFAULT_THETA);
+    }
+
+    #[test]
+    fn single_item_keyspace() {
+        // A 1-key keyspace (e.g. keys_per_partition=1 under a million
+        // clients hammering one partition) must always yield rank 0 and
+        // never produce NaN-derived garbage.
+        let z = Zipfian::new(1, DEFAULT_THETA);
+        assert!(
+            z.eta.is_finite(),
+            "eta must be finite at n=1, got {}",
+            z.eta
+        );
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert_eq!(z.sample(&mut rng), 0);
+            assert_eq!(z.sample_scrambled(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn two_item_keyspace() {
+        // n == 2 is the 0/0 corner of Gray's eta formula (zetan == zeta2).
+        // Samples must stay in {0, 1}, skew toward rank 0, and eta must be
+        // a real number rather than NaN.
+        let z = Zipfian::new(2, DEFAULT_THETA);
+        assert!(
+            z.eta.is_finite(),
+            "eta must be finite at n=2, got {}",
+            z.eta
+        );
+        let mut rng = SmallRng::seed_from_u64(10);
+        let draws = 20_000u32;
+        let mut counts = [0u32; 2];
+        for _ in 0..draws {
+            let r = z.sample(&mut rng) as usize;
+            assert!(r < 2, "rank {r} out of range for n=2");
+            counts[r] += 1;
+            assert!(z.sample_scrambled(&mut rng) < 2);
+        }
+        // Exact two-point zipf: P(0) = 1/zeta_2, P(1) = 0.5^theta/zeta_2.
+        let zeta2 = zeta(2, DEFAULT_THETA);
+        let expect0 = 1.0 / zeta2;
+        let got0 = f64::from(counts[0]) / f64::from(draws);
+        assert!(
+            (got0 - expect0).abs() < 0.02,
+            "rank-0 mass {got0:.4} vs analytic {expect0:.4}"
+        );
+        assert!(counts[1] > 0, "rank 1 never drawn");
     }
 
     #[test]

@@ -22,6 +22,7 @@ fn scale() -> Scale {
         client_sweep: vec![2],
         cores: 4,
         seed: 11,
+        client_pooling: false,
     }
 }
 
