@@ -5,15 +5,22 @@
 #
 # Tiers:
 #   ./ci.sh --fast   formatting, clippy, debug tests — the edit-loop tier
-#   ./ci.sh          the full gate: fast tier + release build/tests,
-#                    detlint --dynamic, obs_smoke, chaos_smoke, mc_smoke,
-#                    trace_smoke, mega_smoke, perf_gate
+#   ./ci.sh          the full gate: fast tier + release build/tests, then
+#                    the smoke gates (detlint --dynamic, obs_smoke,
+#                    chaos_smoke, mc_smoke, trace_smoke, mega_smoke,
+#                    par_smoke, perf_gate) run *concurrently* against the
+#                    release binaries, with per-gate logs replayed in a
+#                    fixed order once all of them finish
 #
 # The 10⁵/10⁶-clients-per-site scale points stay out of CI; run them with
-# `cargo run --release -p gdur-bench --bin perf_gate -- --mega`.
+# `cargo run --release -p gdur-bench --bin perf_gate -- --mega`. The
+# parallel-kernel thread sweep is likewise on demand:
+# `cargo run --release -p gdur-bench --bin perf_gate -- --par`.
 #
 # Each step reports its wall-clock seconds; SKIP_PERF_GATE=1 skips the
 # wall-clock regression gate (it only means something on an idle machine).
+# GDUR_KERNEL_THREADS sets the worker count the byte-identity gates
+# (par_smoke, detlint --dynamic) cross-check against sequential (default 4).
 set -eu
 
 cd "$(dirname "$0")"
@@ -55,32 +62,69 @@ step "cargo build --release" cargo build --release
 
 step "cargo test (release)" cargo test -q --release
 
-step "detlint (static + dynamic determinism lint, incl. chaos reruns)" \
-    cargo run -q --release -p gdur-analysis --bin detlint -- --dynamic
+# ---- smoke gates (concurrent) -----------------------------------------
+# Every gate below is an independent read-only check over the release
+# binaries built above, so they all start at once; each gate's output is
+# buffered to its own log and replayed in the fixed order of $GATES when
+# the last one finishes, so interleaving never garbles a log and the
+# slowest gate bounds the tier's wall clock instead of the sum.
+GATE_DIR=$(mktemp -d)
+trap 'rm -rf "$GATE_DIR"' EXIT
 
-step "obs_smoke (traced run: schema, convoy/abort invariants, golden diff)" \
-    cargo run -q --release -p gdur-bench --bin obs_smoke
+# spawn_gate <name> <cmd...>: run a gate in the background, capturing its
+# combined output, exit code, and wall-clock seconds under $GATE_DIR.
+spawn_gate() {
+    _name=$1
+    shift
+    (
+        _g0=$(date +%s)
+        if "$@" >"$GATE_DIR/$_name.log" 2>&1; then
+            _grc=0
+        else
+            _grc=$?
+        fi
+        echo "$_grc $(($(date +%s) - _g0))" >"$GATE_DIR/$_name.rc"
+    ) &
+}
 
-step "chaos_smoke (fault schedules: crash/partition/heal/restart, golden diff)" \
-    cargo run -q --release -p gdur-bench --bin chaos_smoke
-
-step "mc_smoke (DPOR-lite schedule exploration + PSI-bug regression, golden diff)" \
-    cargo run -q --release -p gdur-bench --bin mc_smoke
-
-step "trace_smoke (causal tracing: exact attribution, span trees, chrome export, golden diff)" \
-    cargo run -q --release -p gdur-bench --bin trace_smoke
-
-step "mega_smoke (aggregated client pools @ 10k clients/site, golden diff)" \
-    cargo run -q --release -p gdur-bench --bin mega_smoke
+GATES="detlint obs_smoke chaos_smoke mc_smoke trace_smoke mega_smoke par_smoke"
+spawn_gate detlint ./target/release/detlint --dynamic
+spawn_gate obs_smoke ./target/release/obs_smoke
+spawn_gate chaos_smoke ./target/release/chaos_smoke
+spawn_gate mc_smoke ./target/release/mc_smoke
+spawn_gate trace_smoke ./target/release/trace_smoke
+spawn_gate mega_smoke ./target/release/mega_smoke
+spawn_gate par_smoke ./target/release/par_smoke
 
 # Wall-clock regression gate against the blessed reference in
 # BENCH_sim.json. Skippable because wall-clock is only meaningful on an
-# otherwise idle machine (virtual-time correctness is covered above).
+# otherwise idle machine (virtual-time correctness is covered above) —
+# and doubly noisy here, where it shares the host with the other gates.
 if [ "${SKIP_PERF_GATE:-0}" = "1" ]; then
     echo "==> perf_gate: skipped (SKIP_PERF_GATE=1)"
 else
-    step "perf_gate (wall-clock + kernel-event check vs blessed reference)" \
-        cargo run -q --release -p gdur-bench --bin perf_gate -- --check
+    GATES="$GATES perf_gate"
+    spawn_gate perf_gate ./target/release/perf_gate --check
+fi
+
+echo "==> smoke gates (running ${GATES} concurrently) …"
+wait
+
+GATE_FAILED=0
+for _name in $GATES; do
+    read -r _grc _gsecs <"$GATE_DIR/$_name.rc"
+    echo "==> $_name"
+    sed 's/^/    /' "$GATE_DIR/$_name.log"
+    if [ "$_grc" = "0" ]; then
+        echo "    ($_name: ${_gsecs}s)"
+    else
+        echo "    ($_name: ${_gsecs}s, FAILED rc=$_grc)"
+        GATE_FAILED=1
+    fi
+done
+if [ "$GATE_FAILED" != "0" ]; then
+    echo "==> ci: smoke gate(s) failed"
+    exit 1
 fi
 
 echo "==> ci: all checks passed ($(($(date +%s) - TOTAL0))s)"

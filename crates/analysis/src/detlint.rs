@@ -16,6 +16,11 @@
 //!   from the OS instead of the deployment seed.
 //! * **`WALL-CLOCK`** — `SystemTime::now()` / `Instant::now()` read the
 //!   host clock; simulated code must use the virtual clock (`SimTime`).
+//! * **`THREAD`** — `thread::spawn` / `thread::scope` introduce host
+//!   scheduling into the run. The only sanctioned uses are the kernel's
+//!   own lookahead-sharded workers (whose merge step restores the exact
+//!   sequential order) and harness code that runs *whole simulations* in
+//!   parallel; anything else must justify itself in `detlint.allow`.
 //!
 //! The scan is line-based and deliberately simple: false positives are
 //! silenced through the `detlint.allow` file at the workspace root, never
@@ -33,7 +38,7 @@ pub struct Finding {
     /// 1-based line number.
     pub line: usize,
     /// Stable rule code (`HASH-DECL`, `HASH-ITER`, `UNSEEDED-RNG`,
-    /// `WALL-CLOCK`).
+    /// `WALL-CLOCK`, `THREAD`).
     pub code: &'static str,
     /// The offending source line, trimmed.
     pub excerpt: String,
@@ -242,6 +247,9 @@ pub fn scan_source(file: &Path, text: &str) -> Vec<Finding> {
         if code.contains("SystemTime::now") || code.contains("Instant::now") {
             emit("WALL-CLOCK");
         }
+        if code.contains("thread::spawn(") || code.contains("thread::scope(") {
+            emit("THREAD");
+        }
         let declares_hash = (code.contains("HashMap") || code.contains("HashSet"))
             && !code.trim_start().starts_with("use ");
         if declares_hash {
@@ -364,6 +372,14 @@ mod tests {
         let src = "let r = thread_rng();\nlet t = Instant::now();\n// SystemTime::now is banned\n";
         let c = codes(src);
         assert_eq!(c, vec!["UNSEEDED-RNG", "WALL-CLOCK"]);
+    }
+
+    #[test]
+    fn flags_thread_spawns_and_scopes() {
+        let src = "std::thread::spawn(move || work());
+thread::scope(|s| {
+";
+        assert_eq!(codes(src), vec!["THREAD", "THREAD"]);
     }
 
     #[test]

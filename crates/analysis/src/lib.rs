@@ -52,12 +52,23 @@ pub fn verify_cluster(spec: &ProtocolSpec, cluster: &Cluster) -> Result<(), Viol
 }
 
 fn run_small(spec: ProtocolSpec, seed: u64) -> (Vec<TxnRecord>, String) {
+    run_small_at(spec, seed, 1, None)
+}
+
+fn run_small_at(
+    spec: ProtocolSpec,
+    seed: u64,
+    threads: usize,
+    jitter: Option<f64>,
+) -> (Vec<TxnRecord>, String) {
     let sites = 3;
     let mut cfg = ClusterConfig::small(spec, sites);
     cfg.keys_per_partition = 50;
     cfg.clients_per_site = 2;
     cfg.max_txns_per_client = Some(12);
     cfg.seed = seed;
+    cfg.kernel_threads = threads;
+    cfg.jitter = jitter;
     let total_keys = cfg.keys_per_partition * sites as u64;
     let mut cluster = Cluster::build(cfg, move |_, site| {
         Box::new(YcsbSource::new(
@@ -108,6 +119,52 @@ pub fn same_seed_cross_check(seed: u64) -> Result<(), String> {
             return Err(format!(
                 "{name}: trace streams of identically-seeded runs diverge at \
                  event #{first} (seed {seed})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The parallel-kernel extension of the dynamic determinism lint: runs
+/// every library protocol on a jitter-free topology once under the
+/// sequential kernel and once sharded across `threads` workers, and
+/// demands bit-identical transaction records and trace streams. This is
+/// the executable form of the parallel kernel's contract — sharding is a
+/// pure performance knob, invisible in every observable byte.
+pub fn par_same_seed_check(threads: usize, seed: u64) -> Result<(), String> {
+    assert!(
+        threads > 1,
+        "cross-checking 1 vs {threads} threads is vacuous"
+    );
+    for spec in gdur_protocols::all_protocols() {
+        let name = spec.name;
+        let (a, trace_a) = run_small_at(spec.clone(), seed, 1, Some(0.0));
+        let (b, trace_b) = run_small_at(spec, seed, threads, Some(0.0));
+        if a.len() != b.len() {
+            return Err(format!(
+                "{name}: sequential vs {threads}-thread runs with seed {seed} \
+                 decided {} vs {} transactions",
+                a.len(),
+                b.len()
+            ));
+        }
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            if x != y {
+                return Err(format!(
+                    "{name}: record #{i} differs between the sequential and \
+                     {threads}-thread kernels ({x:?} vs {y:?})"
+                ));
+            }
+        }
+        if trace_a != trace_b {
+            let first = trace_a
+                .lines()
+                .zip(trace_b.lines())
+                .position(|(x, y)| x != y)
+                .unwrap_or(trace_a.lines().count().min(trace_b.lines().count()));
+            return Err(format!(
+                "{name}: traces of the sequential and {threads}-thread kernels \
+                 diverge at event #{first} (seed {seed})"
             ));
         }
     }
@@ -168,6 +225,11 @@ mod tests {
         bad.certify = gdur_core::CertifyRule::AlwaysPass;
         let r = lint_report(&bad, &Placement::disaster_prone(3));
         assert!(r.contains("SI-WRITE-CERT"), "{r}");
+    }
+
+    #[test]
+    fn parallel_kernel_matches_sequential_for_library() {
+        par_same_seed_check(3, 5).expect("sharded kernel must be invisible");
     }
 
     #[test]

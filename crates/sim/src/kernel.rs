@@ -34,6 +34,10 @@ use crate::obs::{trigger, ObsEvent, ObsSink};
 use crate::sched::{Candidate, CandidateKind, Scheduler};
 use crate::time::{SimDuration, SimTime};
 
+mod par;
+
+pub(crate) use par::ParShards;
+
 /// Computes point-to-point message delay.
 ///
 /// Implementations live in `gdur-net` (geo-replicated latency matrices); the
@@ -47,6 +51,25 @@ pub trait LatencyModel {
         bytes: usize,
         rng: &mut SmallRng,
     ) -> SimDuration;
+
+    /// The delay for a `bytes`-sized message from `from` to `to` when the
+    /// model draws no randomness, or `None` when the model is jittered.
+    ///
+    /// The parallel kernel (see [`Simulation::enable_parallel`]) computes
+    /// arrival times on worker threads that have no access to the shared
+    /// seeded RNG, so it requires every send's delay through this method.
+    /// An implementation returning `Some(d)` **must** return the same `d`
+    /// from [`LatencyModel::delay`] without touching the RNG — otherwise
+    /// parallel and sequential runs of the same seed diverge.
+    fn deterministic_delay(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        bytes: usize,
+    ) -> Option<SimDuration> {
+        let _ = (from, to, bytes);
+        None
+    }
 }
 
 /// A zero-delay network, useful for unit tests of protocol logic.
@@ -56,6 +79,10 @@ pub struct ZeroLatency;
 impl LatencyModel for ZeroLatency {
     fn delay(&self, _: ProcessId, _: ProcessId, _: usize, _: &mut SmallRng) -> SimDuration {
         SimDuration::ZERO
+    }
+
+    fn deterministic_delay(&self, _: ProcessId, _: ProcessId, _: usize) -> Option<SimDuration> {
+        Some(SimDuration::ZERO)
     }
 }
 
@@ -70,6 +97,14 @@ impl LatencyModel for UniformLatency {
         } else {
             self.0
         }
+    }
+
+    fn deterministic_delay(&self, from: ProcessId, to: ProcessId, _: usize) -> Option<SimDuration> {
+        Some(if from == to {
+            SimDuration::ZERO
+        } else {
+            self.0
+        })
     }
 }
 
@@ -89,7 +124,9 @@ pub struct Context<'a, M> {
     now: SimTime,
     self_id: ProcessId,
     consumed: SimDuration,
-    rng: &'a mut SmallRng,
+    /// `None` only inside parallel-kernel workers (see `kernel::par`), which
+    /// have no access to the shared seeded generator.
+    rng: Option<&'a mut SmallRng>,
     outputs: &'a mut Vec<Output<M>>,
     next_timer: &'a mut u64,
     halted: &'a mut bool,
@@ -173,8 +210,19 @@ impl<'a, M> Context<'a, M> {
     }
 
     /// Deterministic random-number generator shared by the whole simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the simulation runs with a parallel kernel
+    /// ([`Simulation::enable_parallel`]): worker shards cannot share one
+    /// sequential generator without breaking same-seed byte-identity. Give
+    /// actors that need randomness their own per-actor seeded generator
+    /// instead (as the workload clients already do).
     pub fn rng(&mut self) -> &mut SmallRng {
-        self.rng
+        self.rng.as_deref_mut().expect(
+            "Context::rng is unavailable under the parallel kernel (threads > 1); \
+             use a per-actor seeded RNG instead of the shared kernel RNG",
+        )
     }
 
     /// Stops the simulation after the current handler completes.
@@ -308,6 +356,16 @@ pub struct Simulation<A: Actor, L: LatencyModel> {
     /// payload-free summaries), reused across choice points.
     cand_events: Vec<QueuedEvent<A::Msg>>,
     cand_meta: Vec<Candidate>,
+    /// Worker-thread budget for the parallel driver; 1 = sequential kernel.
+    threads: usize,
+    /// Site-shard map + lookahead, set by [`Simulation::enable_parallel`].
+    par: Option<ParShards>,
+    /// Monomorphized entry point of the parallel driver. Stored as a fn
+    /// pointer so the unbounded `run_until` can dispatch to it: the driver
+    /// needs `A: Send, A::Msg: Send, L: Sync`, bounds this impl block does
+    /// not carry, and they are discharged where the pointer is created
+    /// (`enable_parallel`).
+    par_driver: Option<fn(&mut Self, SimTime) -> SimTime>,
 }
 
 impl<A: Actor, L: LatencyModel> Simulation<A, L> {
@@ -329,7 +387,16 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
             sched: None,
             cand_events: Vec::new(),
             cand_meta: Vec::new(),
+            threads: 1,
+            par: None,
+            par_driver: None,
         }
+    }
+
+    /// The worker-thread budget set by [`Simulation::enable_parallel`]
+    /// (1 = sequential kernel).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Attaches an observability sink receiving [`ObsEvent`]s: every
@@ -595,7 +662,23 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
     /// across runs. The exceptions keep the clock at the last event time:
     /// [`Simulation::run_until_idle`] (there is no meaningful horizon) and
     /// a [`Context::halt`] (the stop is deliberate and mid-run).
+    ///
+    /// With [`Simulation::enable_parallel`] configured and no [`Scheduler`]
+    /// attached, this dispatches to the sharded conservative-PDES driver,
+    /// which produces the byte-identical event order (see `kernel::par`).
+    /// A scheduler always forces the sequential path: schedule exploration
+    /// reorders co-enabled arrivals one at a time, which is meaningless
+    /// across concurrently-advancing shards.
     pub fn run_until(&mut self, until: SimTime) -> SimTime {
+        if self.threads > 1 && self.par.is_some() && self.sched.is_none() {
+            let driver = self.par_driver.expect("enable_parallel set the driver");
+            return driver(self, until);
+        }
+        self.run_until_seq(until)
+    }
+
+    /// The historical single-threaded dispatch loop.
+    fn run_until_seq(&mut self, until: SimTime) -> SimTime {
         self.ensure_started();
         while !self.halted {
             let Some(Reverse(ev)) = self.queue.peek() else {
@@ -817,7 +900,7 @@ impl<A: Actor, L: LatencyModel> Simulation<A, L> {
                 now: start,
                 self_id: id,
                 consumed: SimDuration::ZERO,
-                rng: &mut self.rng,
+                rng: Some(&mut self.rng),
                 outputs: &mut outputs,
                 next_timer: &mut slot.next_timer,
                 halted: &mut self.halted,

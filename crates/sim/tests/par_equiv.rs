@@ -1,0 +1,363 @@
+//! Parallel-kernel equivalence: the sharded conservative-PDES driver
+//! must reproduce the sequential kernel byte for byte — same actor
+//! logs, same stats, same final clock, and the same causal obs stream
+//! (`Deliver`/`HandleStart`/`HandleEnd` brackets with identical `mid`s,
+//! which pins the global `(time, seq)` assignment itself).
+//!
+//! The scenarios target the lookahead-merge edge cases: zero-latency
+//! self-sends, cross-shard sends landing exactly on a window boundary,
+//! crash/restart of an actor owned by another shard, and timers firing
+//! right at a shard barrier.
+
+use std::sync::{Arc, Mutex};
+
+use gdur_sim::{
+    Actor, Context, Cores, FifoScheduler, ObsEvent, ObsSink, ProcessId, SimDuration, SimTime,
+    Simulation, UniformLatency, WireSize,
+};
+
+#[derive(Debug, Clone, Copy)]
+struct Ping(u32);
+
+impl WireSize for Ping {
+    fn wire_size(&self) -> usize {
+        64
+    }
+}
+
+/// Obs sink shared with the test body; optionally causal.
+#[derive(Clone)]
+struct Tap {
+    events: Arc<Mutex<Vec<ObsEvent>>>,
+    causal: bool,
+}
+
+impl ObsSink for Tap {
+    fn record(&mut self, ev: ObsEvent) {
+        self.events.lock().unwrap().push(ev);
+    }
+
+    fn wants_causal(&self) -> bool {
+        self.causal
+    }
+}
+
+/// Deterministic stress actor (no kernel RNG — the parallel kernel
+/// forbids it): pings peers, self-sends at zero latency, sets/cancels
+/// timers, consumes pseudo-random service time from its own counter.
+struct Worker {
+    peers: Vec<ProcessId>,
+    /// Per-actor deterministic counter standing in for an RNG.
+    salt: u64,
+    log: Vec<(SimTime, &'static str, u64)>,
+    pending_timer: Option<u64>,
+}
+
+impl Worker {
+    fn next(&mut self) -> u64 {
+        // xorshift-ish mix; identical across runs, no shared state.
+        self.salt = self
+            .salt
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.salt >> 33
+    }
+}
+
+impl Actor for Worker {
+    type Msg = Ping;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+        let first = self.peers[0];
+        ctx.send(first, Ping(6));
+        ctx.trace("test.start", 0, self.salt);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: ProcessId, msg: Ping) {
+        let r = self.next();
+        ctx.consume(SimDuration::from_micros(r % 900));
+        self.log.push((ctx.now(), "msg", msg.0 as u64));
+        ctx.trace("test.msg", msg.0 as u64, r % 7);
+        if msg.0 == 0 {
+            return;
+        }
+        if r.is_multiple_of(3) {
+            // Zero-latency self-send: arrives at service end, same shard.
+            ctx.send(ctx.self_id(), Ping(0));
+        }
+        if r % 4 == 1 {
+            if let Some(id) = self.pending_timer.take() {
+                ctx.cancel_timer(id);
+            }
+        }
+        if r.is_multiple_of(2) {
+            let after = SimDuration::from_micros(r % 2500);
+            self.pending_timer = Some(ctx.set_timer(after, msg.0 as u64));
+        }
+        let peer = self.peers[(r as usize) % self.peers.len()];
+        ctx.send(peer, Ping(msg.0 - 1));
+        let _ = from;
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Ping>, tag: u64) {
+        self.pending_timer = None;
+        self.log.push((ctx.now(), "timer", tag));
+        ctx.trace("test.timer", tag, 0);
+        if tag > 2 {
+            let peer = self.peers[(tag as usize) % self.peers.len()];
+            ctx.send(peer, Ping(1));
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, Ping>) {
+        self.log.push((ctx.now(), "restart", 0));
+        ctx.trace("test.restart", 0, 0);
+        ctx.send(self.peers[0], Ping(2));
+    }
+}
+
+const LAT: SimDuration = SimDuration::from_millis(10);
+
+/// Builds the standard 6-actor world: one actor per "site", so every
+/// actor-to-actor send is cross-site at exactly the lookahead latency.
+fn build(threads: usize, causal: bool) -> (Simulation<Worker, UniformLatency>, Tap) {
+    let n = 6u32;
+    let mut sim = Simulation::new(UniformLatency(LAT), 42);
+    for i in 0..n {
+        let peers = (0..n).filter(|p| *p != i).map(ProcessId).collect();
+        sim.spawn(
+            Worker {
+                peers,
+                salt: 0x9e3779b97f4a7c15 ^ u64::from(i),
+                log: Vec::new(),
+                pending_timer: None,
+            },
+            if i % 3 == 0 {
+                Cores::Unlimited
+            } else {
+                Cores::Fixed(1 + (i as u16 % 2))
+            },
+        );
+    }
+    let tap = Tap {
+        events: Arc::new(Mutex::new(Vec::new())),
+        causal,
+    };
+    sim.attach_obs(Box::new(tap.clone()));
+    if threads > 1 {
+        let site_of: Vec<u16> = (0..n as u16).collect();
+        sim.enable_parallel(threads, site_of, LAT);
+    }
+    (sim, tap)
+}
+
+fn snapshot(sim: &Simulation<Worker, UniformLatency>, tap: &Tap) -> String {
+    let mut s = String::new();
+    for (pid, a) in sim.actors() {
+        s.push_str(&format!("{pid:?}: {:?}\n", a.log));
+    }
+    s.push_str(&format!("stats: {:?}\n", sim.stats()));
+    s.push_str(&format!("now: {:?}\n", sim.now()));
+    for ev in tap.events.lock().unwrap().iter() {
+        s.push_str(&format!("{ev:?}\n"));
+    }
+    s
+}
+
+fn assert_equiv_at(threads: usize, causal: bool, horizon: SimTime) {
+    let (mut seq, seq_tap) = build(1, causal);
+    seq.run_until(horizon);
+    let (mut par, par_tap) = build(threads, causal);
+    par.run_until(horizon);
+    assert_eq!(
+        snapshot(&seq, &seq_tap),
+        snapshot(&par, &par_tap),
+        "{threads}-thread run diverged from sequential (causal={causal})"
+    );
+}
+
+#[test]
+fn parallel_matches_sequential_to_idle() {
+    for threads in [2, 3, 4, 8] {
+        assert_equiv_at(threads, true, SimTime::MAX);
+        assert_equiv_at(threads, false, SimTime::MAX);
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_at_horizon() {
+    // Horizons that cut mid-window, exactly on a lookahead boundary, and
+    // mid-flight between windows.
+    for nanos in [
+        9_999_999u64,
+        10_000_000,
+        10_000_001,
+        20_000_000,
+        33_333_333,
+        70_000_000,
+    ] {
+        assert_equiv_at(4, true, SimTime::from_nanos(nanos));
+    }
+}
+
+#[test]
+fn boundary_arrivals_defer_and_match() {
+    // With zero service cost, a send at window-open time T lands exactly
+    // at T + lookahead == bound: it must defer to the next window and
+    // still replay identically.
+    struct Relay {
+        peer: Option<ProcessId>,
+        got: Vec<(SimTime, u32)>,
+    }
+    impl Actor for Relay {
+        type Msg = Ping;
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            if let Some(p) = self.peer {
+                ctx.send(p, Ping(8));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: ProcessId, msg: Ping) {
+            self.got.push((ctx.now(), msg.0));
+            if msg.0 > 0 {
+                ctx.send(from, Ping(msg.0 - 1));
+            }
+        }
+    }
+    let build = |threads: usize| {
+        let mut sim = Simulation::new(UniformLatency(LAT), 7);
+        let a = sim.spawn(
+            Relay {
+                peer: None,
+                got: vec![],
+            },
+            Cores::Fixed(1),
+        );
+        let b = sim.spawn(
+            Relay {
+                peer: Some(a),
+                got: vec![],
+            },
+            Cores::Fixed(1),
+        );
+        if threads > 1 {
+            sim.enable_parallel(threads, vec![0, 1], LAT);
+        }
+        sim.run_until_idle();
+        let log = |p| format!("{:?}", sim.actor(p).got);
+        (log(a), log(b), sim.stats(), sim.now())
+    };
+    assert_eq!(build(1), build(2));
+}
+
+#[test]
+fn cross_shard_crash_restart_matches() {
+    // Crash an actor while peers on other shards keep sending to it
+    // (drops), then restart it mid-window; merge must reproduce the
+    // sequential drop counts, KERNEL_CRASH/KERNEL_RESTART points, and
+    // the on_restart handler's effects.
+    let run = |threads: usize| {
+        let (mut sim, tap) = build(threads, true);
+        let victim = ProcessId(1);
+        sim.schedule_crash(victim, SimTime::ZERO + SimDuration::from_millis(13));
+        sim.schedule_restart(victim, SimTime::ZERO + SimDuration::from_millis(41));
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(200));
+        snapshot(&sim, &tap)
+    };
+    assert_eq!(run(1), run(4), "crash/restart schedule diverged");
+}
+
+#[test]
+fn timer_fires_racing_the_shard_barrier_match() {
+    // Timers armed to land exactly at, just before, and just after the
+    // first window bound (t = lookahead).
+    struct Timed {
+        fired: Vec<(SimTime, u64)>,
+    }
+    impl Actor for Timed {
+        type Msg = Ping;
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            ctx.set_timer(SimDuration::from_nanos(LAT.as_nanos() - 1), 1);
+            ctx.set_timer(LAT, 2);
+            ctx.set_timer(LAT + SimDuration::from_nanos(1), 3);
+            let canceled = ctx.set_timer(LAT, 4);
+            ctx.cancel_timer(canceled);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, Ping>, _from: ProcessId, _m: Ping) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, Ping>, tag: u64) {
+            self.fired.push((ctx.now(), tag));
+        }
+    }
+    let run = |threads: usize| {
+        let mut sim = Simulation::new(UniformLatency(LAT), 3);
+        let a = sim.spawn(Timed { fired: vec![] }, Cores::Fixed(1));
+        let b = sim.spawn(Timed { fired: vec![] }, Cores::Fixed(1));
+        if threads > 1 {
+            sim.enable_parallel(threads, vec![0, 1], LAT);
+        }
+        sim.run_until_idle();
+        format!(
+            "{:?} {:?} {:?} {:?}",
+            sim.actor(a).fired,
+            sim.actor(b).fired,
+            sim.stats(),
+            sim.now()
+        )
+    };
+    assert_eq!(run(1), run(2));
+}
+
+#[test]
+fn scheduler_forces_sequential_path() {
+    // A Scheduler plus enable_parallel must take the sequential path and
+    // behave exactly like a scheduler-only run (FIFO = identity order).
+    let run = |threads: usize, sched: bool| {
+        let (mut sim, tap) = build(threads, true);
+        if sched {
+            sim.attach_scheduler(Box::new(FifoScheduler));
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(120));
+        snapshot(&sim, &tap)
+    };
+    assert_eq!(run(1, true), run(4, true));
+}
+
+#[test]
+fn single_site_falls_back_to_sequential() {
+    // All actors on one site -> one populated shard -> sequential path,
+    // still byte-identical.
+    let run = |threads: usize| {
+        let mut sim = Simulation::new(UniformLatency(LAT), 9);
+        for i in 0..3u32 {
+            sim.spawn(
+                Worker {
+                    peers: (0..3).filter(|p| *p != i).map(ProcessId).collect(),
+                    salt: u64::from(i) + 5,
+                    log: Vec::new(),
+                    pending_timer: None,
+                },
+                Cores::Fixed(1),
+            );
+        }
+        if threads > 1 {
+            sim.enable_parallel(threads, vec![0, 0, 0], LAT);
+        }
+        sim.run_until_idle();
+        format!("{:?} {:?}", sim.stats(), sim.now())
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn resumed_runs_match() {
+    // Stop/resume at horizons must not disturb identity: pending queues
+    // carry resolved keys across run_until calls.
+    let run_chunks = |threads: usize| {
+        let (mut sim, tap) = build(threads, true);
+        for ms in [7u64, 11, 40, 90, 400] {
+            sim.run_until(SimTime::ZERO + SimDuration::from_millis(ms));
+        }
+        sim.run_until_idle();
+        snapshot(&sim, &tap)
+    };
+    assert_eq!(run_chunks(1), run_chunks(3));
+}

@@ -23,6 +23,8 @@ fn scale() -> Scale {
         cores: 4,
         seed: 11,
         client_pooling: false,
+        kernel_threads: 1,
+        jitter: None,
     }
 }
 
